@@ -1,0 +1,283 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section 4.2), plus the extension studies and
+// micro-benchmarks of the core kernels.
+//
+//	go test -bench=. -benchmem
+//
+// Each experiment benchmark prints its regenerated rows/series once per
+// process, so the bench run doubles as the reproduction harness:
+//
+//	BenchmarkTable1            — Table 1   (parameter comparison)
+//	BenchmarkFigure1_CAGrQc    — Figure 1  (CA-GrQc, incl. expected-over-N curves)
+//	BenchmarkFigure2_AS20      — Figure 2  (AS20, single realizations)
+//	BenchmarkFigure3_CAHepTh   — Figure 3  (CA-HepTh, single realizations)
+//	BenchmarkFigure4_Synthetic — Figure 4  (synthetic source)
+//	BenchmarkEpsilonSweep      — privacy–utility across ε (§4.2 extension)
+//	BenchmarkSmoothSensGrowth  — SS_Δ vs graph size (§5 future work)
+//	BenchmarkSmoothSensCompare — SS_Δ: SKG vs G(n,p) (§5 future work)
+//	BenchmarkDistNormAblation  — Gleich–Owen objective robustness (§3.4)
+//	BenchmarkModelSelection    — N1=2 vs N1=3 sources (§3.3)
+package dpkron_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dpkron"
+	"dpkron/internal/core"
+	"dpkron/internal/degseq"
+	"dpkron/internal/experiments"
+	"dpkron/internal/kronfit"
+	"dpkron/internal/kronmom"
+	"dpkron/internal/randx"
+	"dpkron/internal/skg"
+	"dpkron/internal/smoothsens"
+	"dpkron/internal/stats"
+)
+
+var printOnce sync.Map
+
+// printResult emits experiment output exactly once per process so
+// repeated benchmark iterations do not spam the log.
+func printResult(key, text string) {
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		fmt.Printf("\n===== %s =====\n%s\n", key, text)
+	}
+}
+
+// --- Table 1 ---
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := experiments.Table1Options{Eps: 0.2, Delta: 0.01, Seed: 7}
+		rows, err := experiments.RunTable1(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult("Table 1", experiments.RenderTable1(rows, opts))
+	}
+}
+
+// --- Figures 1–4 ---
+
+func benchFigure(b *testing.B, dataset string, expectedRuns int) {
+	b.Helper()
+	d, err := experiments.Lookup(dataset)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigure(d, experiments.FigureOptions{
+			Eps: 0.2, Delta: 0.01, Seed: 11, ExpectedRuns: expectedRuns,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult("Figure "+dataset, experiments.RenderFigure(res, 9))
+	}
+}
+
+// BenchmarkFigure1_CAGrQc regenerates Figure 1, including the paper's
+// "Expected" curves. The paper averages 100 realizations; 20 keeps the
+// benchmark under a minute while the estimate of the mean is already
+// tight (use cmd/dpkron figure -expected 100 for the full run).
+func BenchmarkFigure1_CAGrQc(b *testing.B)    { benchFigure(b, "CA-GrQc-like", 20) }
+func BenchmarkFigure2_AS20(b *testing.B)      { benchFigure(b, "AS20-like", 0) }
+func BenchmarkFigure3_CAHepTh(b *testing.B)   { benchFigure(b, "CA-HepTh-like", 0) }
+func BenchmarkFigure4_Synthetic(b *testing.B) { benchFigure(b, "Synthetic", 0) }
+
+// --- Extension studies ---
+
+func BenchmarkEpsilonSweep(b *testing.B) {
+	d, err := experiments.Lookup("Synthetic")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := d.Generate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.EpsilonSweep(g, d.K,
+			[]float64{0.05, 0.1, 0.2, 0.5, 1, 2}, 0.01, 5, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult("Epsilon sweep (Synthetic)", experiments.RenderSweep(rows))
+	}
+}
+
+func BenchmarkSmoothSensGrowth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.SmoothSensGrowth(
+			skg.Initiator{A: 0.99, B: 0.45, C: 0.25},
+			[]int{8, 9, 10, 11, 12, 13, 14}, 0.2, 0.01, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult("Smooth sensitivity growth", experiments.RenderSSGrowth(rows))
+	}
+}
+
+func BenchmarkDistNormAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.DistNormAblation(skg.Initiator{A: 0.99, B: 0.45, C: 0.25}, 12, 21)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult("Dist/Norm ablation (k=12 synthetic)", experiments.RenderAblation(rows))
+	}
+}
+
+// --- Micro-benchmarks of the core kernels ---
+
+func benchGraph(b *testing.B, k int) *dpkron.Graph {
+	b.Helper()
+	m := skg.Model{Init: skg.Initiator{A: 0.99, B: 0.45, C: 0.25}, K: k}
+	return m.SampleExact(randx.New(1))
+}
+
+func BenchmarkSampleExactK11(b *testing.B) {
+	m := skg.Model{Init: skg.Initiator{A: 0.99, B: 0.45, C: 0.25}, K: 11}
+	rng := randx.New(2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := m.SampleExact(rng)
+		if g.NumNodes() != 2048 {
+			b.Fatal("bad sample")
+		}
+	}
+}
+
+func BenchmarkSampleBallDropK14(b *testing.B) {
+	m := skg.Model{Init: skg.Initiator{A: 0.99, B: 0.45, C: 0.25}, K: 14}
+	rng := randx.New(2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := m.SampleBallDrop(rng)
+		if g.NumNodes() != 16384 {
+			b.Fatal("bad sample")
+		}
+	}
+}
+
+func BenchmarkTriangleCount(b *testing.B) {
+	g := benchGraph(b, 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.Triangles(g)
+	}
+}
+
+func BenchmarkPrivateDegreeSequence(b *testing.B) {
+	g := benchGraph(b, 12)
+	rng := randx.New(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		degseq.Private(g, 0.1, rng)
+	}
+}
+
+func BenchmarkSmoothSensitivity(b *testing.B) {
+	g := benchGraph(b, 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		smoothsens.Smooth(g, 0.01)
+	}
+}
+
+func BenchmarkMomentObjective(b *testing.B) {
+	feats := stats.Features{E: 28980, H: 240000, T: 3.2e6, Delta: 48000}
+	obj := kronmom.DefaultObjective()
+	init := skg.Initiator{A: 0.99, B: 0.45, C: 0.25}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		obj.Eval(feats, 13, init)
+	}
+}
+
+func BenchmarkMomentFit(b *testing.B) {
+	g := benchGraph(b, 12)
+	feats := stats.FeaturesOf(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kronmom.Fit(feats, 12, kronmom.Options{Rng: randx.New(uint64(i))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKronFitIteration(b *testing.B) {
+	g := benchGraph(b, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kronfit.Fit(g, kronfit.Options{K: 10, Iters: 1, Rng: randx.New(uint64(i))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrivateEstimateEndToEnd(b *testing.B) {
+	g := benchGraph(b, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Estimate(g, core.Options{Eps: 0.2, Delta: 0.01, Rng: randx.New(uint64(i))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHopPlotExact(b *testing.B) {
+	g := benchGraph(b, 11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.HopPlot(g)
+	}
+}
+
+func BenchmarkHopPlotANF(b *testing.B) {
+	g := benchGraph(b, 13)
+	rng := randx.New(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dpkron.ApproxHopPlot(g, 32, rng)
+	}
+}
+
+func BenchmarkScreeValues(b *testing.B) {
+	g := benchGraph(b, 12)
+	rng := randx.New(6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dpkron.ScreeValues(g, 48, rng)
+	}
+}
+
+// BenchmarkSmoothSensCompare contrasts SS_Δ on SKG samples against
+// density-matched Erdős–Rényi graphs (the §5 comparison to Nissim et
+// al.'s G(n,p) analysis).
+func BenchmarkSmoothSensCompare(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.SmoothSensCompare(
+			skg.Initiator{A: 0.99, B: 0.45, C: 0.25},
+			[]int{8, 9, 10, 11, 12, 13}, 0.2, 0.01, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult("Smooth sensitivity: SKG vs G(n,p)", experiments.RenderSSCompare(rows))
+	}
+}
+
+// BenchmarkModelSelection regenerates the §3.3 model-selection study:
+// a 2×2 moment fit applied to graphs from 2×2 and 3×3 initiators.
+func BenchmarkModelSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ModelSelection(31)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printResult("Model selection (N1=2 vs N1=3 source)", experiments.RenderModelSelection(rows))
+	}
+}

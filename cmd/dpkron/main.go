@@ -1,0 +1,350 @@
+// Command dpkron is the CLI for the differentially private stochastic
+// Kronecker graph estimator. It regenerates the paper's experiments and
+// provides the end-user workflow: fit (private or baseline), generate
+// synthetic graphs, and inspect statistics.
+//
+// Usage:
+//
+//	dpkron table1  [-eps E] [-delta D] [-seed S]
+//	dpkron figure  -dataset NAME [-expected N] [-csv FILE] [-plot]
+//	dpkron fit     -in FILE [-method private|mom|mle] [-eps E] [-delta D] [-k K]
+//	dpkron generate -a A -b B -c C -k K [-out FILE] [-method exact|balldrop]
+//	dpkron stats   -in FILE
+//	dpkron sweep   [-dataset NAME] [-trials N]
+//	dpkron ssgrowth [-kmin K] [-kmax K]
+//	dpkron datasets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dpkron/internal/core"
+	"dpkron/internal/experiments"
+	"dpkron/internal/graph"
+	"dpkron/internal/kronfit"
+	"dpkron/internal/kronmom"
+	"dpkron/internal/randx"
+	"dpkron/internal/skg"
+	"dpkron/internal/stats"
+	"dpkron/internal/textplot"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "table1":
+		err = cmdTable1(args)
+	case "figure":
+		err = cmdFigure(args)
+	case "fit":
+		err = cmdFit(args)
+	case "generate":
+		err = cmdGenerate(args)
+	case "stats":
+		err = cmdStats(args)
+	case "sweep":
+		err = cmdSweep(args)
+	case "ssgrowth":
+		err = cmdSSGrowth(args)
+	case "sscompare":
+		err = cmdSSCompare(args)
+	case "datasets":
+		err = cmdDatasets(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "dpkron: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dpkron %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `dpkron — differentially private Kronecker graph estimation
+
+commands:
+  table1     regenerate the paper's Table 1 (three estimators, four graphs)
+  figure     regenerate a figure (five statistics panels for one dataset)
+  fit        estimate initiator parameters for an edge-list graph
+  generate   sample a synthetic SKG
+  stats      print the matching features and summary statistics of a graph
+  sweep      privacy-utility sweep over epsilon
+  ssgrowth   smooth sensitivity of triangles vs graph size
+  sscompare  smooth sensitivity: SKG vs density-matched G(n,p)
+  datasets   list the built-in evaluation datasets
+`)
+}
+
+func cmdTable1(args []string) error {
+	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+	eps := fs.Float64("eps", 0.2, "total epsilon")
+	delta := fs.Float64("delta", 0.01, "delta")
+	seed := fs.Uint64("seed", 7, "random seed")
+	iters := fs.Int("kronfit-iters", 60, "KronFit gradient iterations")
+	fs.Parse(args)
+	opts := experiments.Table1Options{Eps: *eps, Delta: *delta, Seed: *seed, KronFitIters: *iters}
+	rows, err := experiments.RunTable1(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderTable1(rows, opts))
+	return nil
+}
+
+func cmdFigure(args []string) error {
+	fs := flag.NewFlagSet("figure", flag.ExitOnError)
+	name := fs.String("dataset", "CA-GrQc-like", "dataset name (see `dpkron datasets`)")
+	expected := fs.Int("expected", 0, "realizations for expected curves (paper: 100)")
+	csvPath := fs.String("csv", "", "write full series to CSV file")
+	plot := fs.Bool("plot", false, "render ASCII log-log plots")
+	eps := fs.Float64("eps", 0.2, "total epsilon")
+	delta := fs.Float64("delta", 0.01, "delta")
+	seed := fs.Uint64("seed", 11, "random seed")
+	fs.Parse(args)
+	d, err := experiments.Lookup(*name)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.RunFigure(d, experiments.FigureOptions{
+		Eps: *eps, Delta: *delta, Seed: *seed, ExpectedRuns: *expected,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderFigure(res, 10))
+	if *plot {
+		for _, panel := range experiments.PanelNames {
+			fmt.Printf("\n== %s (log-log) ==\n", panel)
+			var series []textplot.Series
+			add := func(label string, s experiments.Series) {
+				series = append(series, textplot.Series{Name: label, X: s.X, Y: s.Y})
+			}
+			add("Original", res.Original.Panel(panel))
+			for _, n := range experiments.EstimatorNames {
+				add(n, res.Single[n].Panel(panel))
+			}
+			logX := panel != "hop plot"
+			fmt.Print(textplot.Render(series, textplot.Options{LogX: logX, LogY: true}))
+		}
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := experiments.WriteCSV(f, res); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
+	return nil
+}
+
+func loadGraph(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.ReadEdgeList(f, 0)
+}
+
+func cmdFit(args []string) error {
+	fs := flag.NewFlagSet("fit", flag.ExitOnError)
+	in := fs.String("in", "", "edge-list file (required)")
+	method := fs.String("method", "private", "private | mom | mle")
+	eps := fs.Float64("eps", 0.2, "total epsilon (private)")
+	delta := fs.Float64("delta", 0.01, "delta (private)")
+	k := fs.Int("k", 0, "Kronecker power (0 = infer)")
+	seed := fs.Uint64("seed", 1, "random seed")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	g, err := loadGraph(*in)
+	if err != nil {
+		return err
+	}
+	rng := randx.New(*seed)
+	switch strings.ToLower(*method) {
+	case "private":
+		res, err := core.Estimate(g, core.Options{Eps: *eps, Delta: *delta, K: *k, Rng: rng})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("private initiator: %s  (k=%d, %s)\n", res.Init, res.K, res.Privacy)
+		fmt.Printf("private features:  E=%.1f H=%.1f T=%.1f Delta=%.1f\n",
+			res.Features.E, res.Features.H, res.Features.T, res.Features.Delta)
+		for _, c := range res.Charges {
+			fmt.Printf("  budget: %-40s %s\n", c.Label, c.Budget)
+		}
+	case "mom":
+		res, err := kronmom.FitGraph(g, *k, kronmom.Options{Rng: rng})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("KronMom initiator: %s  (k=%d, objective=%.3g)\n", res.Init, res.K, res.Objective)
+	case "mle":
+		res, err := kronfit.Fit(g, kronfit.Options{K: *k, Rng: rng})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("KronFit initiator: %s  (k=%d, ll=%.1f)\n", res.Init, res.K, res.LogLikelihood)
+	default:
+		return fmt.Errorf("unknown method %q", *method)
+	}
+	return nil
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	a := fs.Float64("a", 0.99, "initiator a")
+	b := fs.Float64("b", 0.45, "initiator b")
+	c := fs.Float64("c", 0.25, "initiator c")
+	k := fs.Int("k", 10, "Kronecker power")
+	out := fs.String("out", "", "output edge-list file (default stdout)")
+	method := fs.String("method", "auto", "exact | balldrop | auto")
+	seed := fs.Uint64("seed", 1, "random seed")
+	fs.Parse(args)
+	m, err := skg.NewModel(skg.Initiator{A: *a, B: *b, C: *c}, *k)
+	if err != nil {
+		return err
+	}
+	rng := randx.New(*seed)
+	var g *graph.Graph
+	switch strings.ToLower(*method) {
+	case "exact":
+		g = m.SampleExact(rng)
+	case "balldrop":
+		g = m.SampleBallDrop(rng)
+	default:
+		g = m.Sample(rng)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := g.WriteEdgeList(w); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Printf("wrote %s: %d nodes, %d edges\n", *out, g.NumNodes(), g.NumEdges())
+	}
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	in := fs.String("in", "", "edge-list file (required)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	g, err := loadGraph(*in)
+	if err != nil {
+		return err
+	}
+	f := stats.FeaturesOf(g)
+	fmt.Printf("nodes: %d\nedges: %.0f\nhairpins (wedges): %.0f\ntripins (3-stars): %.0f\ntriangles: %.0f\n",
+		g.NumNodes(), f.E, f.H, f.T, f.Delta)
+	fmt.Printf("global clustering: %.4f\nmax degree: %d\n", stats.GlobalClustering(g), g.MaxDegree())
+	hop := stats.HopPlot(g)
+	fmt.Printf("effective diameter (90%%): %.2f\n", stats.EffectiveDiameter(hop, 0.9))
+	_, sizes := stats.ConnectedComponents(g)
+	largest := 0
+	for _, s := range sizes {
+		if s > largest {
+			largest = s
+		}
+	}
+	fmt.Printf("components: %d (largest %d)\n", len(sizes), largest)
+	return nil
+}
+
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	name := fs.String("dataset", "Synthetic", "dataset name")
+	trials := fs.Int("trials", 5, "trials per epsilon")
+	delta := fs.Float64("delta", 0.01, "delta")
+	seed := fs.Uint64("seed", 3, "random seed")
+	fs.Parse(args)
+	d, err := experiments.Lookup(*name)
+	if err != nil {
+		return err
+	}
+	g := d.Generate()
+	rows, err := experiments.EpsilonSweep(g, d.K,
+		[]float64{0.05, 0.1, 0.2, 0.5, 1, 2}, *delta, *trials, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset %s (n=%d, m=%d)\n", d.Name, g.NumNodes(), g.NumEdges())
+	fmt.Print(experiments.RenderSweep(rows))
+	return nil
+}
+
+func cmdSSGrowth(args []string) error {
+	fs := flag.NewFlagSet("ssgrowth", flag.ExitOnError)
+	kmin := fs.Int("kmin", 8, "smallest k")
+	kmax := fs.Int("kmax", 13, "largest k")
+	eps := fs.Float64("eps", 0.2, "total epsilon")
+	delta := fs.Float64("delta", 0.01, "delta")
+	seed := fs.Uint64("seed", 3, "random seed")
+	fs.Parse(args)
+	var ks []int
+	for k := *kmin; k <= *kmax; k++ {
+		ks = append(ks, k)
+	}
+	rows, err := experiments.SmoothSensGrowth(skg.Initiator{A: 0.99, B: 0.45, C: 0.25}, ks, *eps, *delta, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderSSGrowth(rows))
+	return nil
+}
+
+func cmdSSCompare(args []string) error {
+	fs := flag.NewFlagSet("sscompare", flag.ExitOnError)
+	kmin := fs.Int("kmin", 8, "smallest k")
+	kmax := fs.Int("kmax", 13, "largest k")
+	eps := fs.Float64("eps", 0.2, "total epsilon")
+	delta := fs.Float64("delta", 0.01, "delta")
+	seed := fs.Uint64("seed", 11, "random seed")
+	fs.Parse(args)
+	var ks []int
+	for k := *kmin; k <= *kmax; k++ {
+		ks = append(ks, k)
+	}
+	rows, err := experiments.SmoothSensCompare(skg.Initiator{A: 0.99, B: 0.45, C: 0.25}, ks, *eps, *delta, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderSSCompare(rows))
+	return nil
+}
+
+func cmdDatasets(args []string) error {
+	for _, d := range experiments.Registry() {
+		fmt.Printf("%-14s k=%d seed=%d generator=%s (stands in for N=%d E=%d)\n",
+			d.Name, d.K, d.Seed, d.Source, d.PaperN, d.PaperE)
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles the command once per test binary.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available")
+	}
+	bin := filepath.Join(t.TempDir(), "dpkron")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build failed: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("dpkron %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	bin := buildCLI(t)
+
+	// datasets lists the registry.
+	out := run(t, bin, "datasets")
+	for _, want := range []string{"CA-GrQc-like", "AS20-like", "CA-HepTh-like", "Synthetic"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("datasets output missing %q:\n%s", want, out)
+		}
+	}
+
+	// generate -> stats -> fit round trip on a small graph.
+	dir := t.TempDir()
+	edge := filepath.Join(dir, "g.txt")
+	out = run(t, bin, "generate", "-a", "0.99", "-b", "0.55", "-c", "0.35",
+		"-k", "9", "-seed", "3", "-out", edge)
+	if !strings.Contains(out, "wrote") {
+		t.Fatalf("generate output: %s", out)
+	}
+
+	out = run(t, bin, "stats", "-in", edge)
+	for _, want := range []string{"nodes: 512", "edges:", "triangles:", "effective diameter"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats output missing %q:\n%s", want, out)
+		}
+	}
+
+	out = run(t, bin, "fit", "-in", edge, "-method", "mom", "-k", "9")
+	if !strings.Contains(out, "KronMom initiator:") {
+		t.Fatalf("mom fit output: %s", out)
+	}
+
+	out = run(t, bin, "fit", "-in", edge, "-method", "private", "-eps", "1", "-delta", "0.05")
+	for _, want := range []string{"private initiator:", "(1, 0.05)-DP", "budget:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("private fit output missing %q:\n%s", want, out)
+		}
+	}
+
+	out = run(t, bin, "fit", "-in", edge, "-method", "mle", "-k", "9")
+	if !strings.Contains(out, "KronFit initiator:") {
+		t.Fatalf("mle fit output: %s", out)
+	}
+
+	// ssgrowth prints the growth table.
+	out = run(t, bin, "ssgrowth", "-kmin", "6", "-kmax", "8")
+	if !strings.Contains(out, "SS_beta") {
+		t.Fatalf("ssgrowth output: %s", out)
+	}
+
+	// sscompare prints the comparison table.
+	out = run(t, bin, "sscompare", "-kmin", "6", "-kmax", "7")
+	if !strings.Contains(out, "SS(er)") {
+		t.Fatalf("sscompare output: %s", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	bin := buildCLI(t)
+	for _, args := range [][]string{
+		{"fit"},                         // missing -in
+		{"stats"},                       // missing -in
+		{"fit", "-in", "/nonexistent"},  // unreadable input
+		{"figure", "-dataset", "bogus"}, // unknown dataset
+		{"nonsense"},                    // unknown command
+	} {
+		cmd := exec.Command(bin, args...)
+		if out, err := cmd.CombinedOutput(); err == nil {
+			t.Errorf("dpkron %v: expected failure, got:\n%s", args, out)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package dpkron
+
+import (
+	"io"
+
+	"dpkron/internal/anf"
+	"dpkron/internal/core"
+	"dpkron/internal/dp"
+	"dpkron/internal/graph"
+	"dpkron/internal/kronfit"
+	"dpkron/internal/kronmom"
+	"dpkron/internal/linalg"
+	"dpkron/internal/randx"
+	"dpkron/internal/skg"
+	"dpkron/internal/stats"
+)
+
+// Re-exported types forming the supported public API. The concrete
+// implementations live in internal packages; the aliases keep a single
+// import path for users while allowing the internals to be reorganized.
+type (
+	// Graph is an immutable undirected simple graph in CSR form.
+	Graph = graph.Graph
+	// Builder accumulates edges and produces a Graph.
+	Builder = graph.Builder
+	// Rand is the deterministic random source used across the module.
+	Rand = randx.Rand
+	// Initiator is the symmetric 2×2 SKG initiator matrix [a b; b c].
+	Initiator = skg.Initiator
+	// Model is an SKG on 2^K nodes defined by Initiator^[K].
+	Model = skg.Model
+	// Features holds the four matching statistics (E, H, T, Δ).
+	Features = stats.Features
+	// Budget is an (ε, δ) differential privacy guarantee.
+	Budget = dp.Budget
+	// PrivateOptions configures the paper's Algorithm 1.
+	PrivateOptions = core.Options
+	// PrivateResult is the (ε, δ)-DP estimation outcome.
+	PrivateResult = core.Result
+	// MomentOptions configures the Gleich–Owen KronMom estimator.
+	MomentOptions = kronmom.Options
+	// MomentEstimate is a KronMom fit.
+	MomentEstimate = kronmom.Estimate
+	// MLEOptions configures the Leskovec–Faloutsos KronFit estimator.
+	MLEOptions = kronfit.Options
+	// MLEResult is a KronFit fit.
+	MLEResult = kronfit.Result
+	// DegreePoint is one point of a per-degree aggregated series.
+	DegreePoint = stats.DegreePoint
+)
+
+// NewRand returns a deterministic random source for the given seed.
+func NewRand(seed uint64) *Rand { return randx.New(seed) }
+
+// NewBuilder returns a Builder for a graph on n nodes.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds a graph on n nodes; loops are dropped and duplicate
+// edges merged.
+func FromEdges(n int, edges [][2]int) *Graph { return graph.FromEdges(n, edges) }
+
+// ReadEdgeList parses the SNAP edge-list text format ('#' comments, one
+// whitespace-separated pair per line).
+func ReadEdgeList(r io.Reader, minNodes int) (*Graph, error) {
+	return graph.ReadEdgeList(r, minNodes)
+}
+
+// NewModel validates an initiator and Kronecker power K and returns the
+// SKG model on 2^K nodes.
+func NewModel(init Initiator, k int) (Model, error) { return skg.NewModel(init, k) }
+
+// EstimatePrivate runs the paper's Algorithm 1: an (ε, δ)-edge-
+// differentially-private estimate of the SKG initiator of g.
+func EstimatePrivate(g *Graph, opts PrivateOptions) (*PrivateResult, error) {
+	return core.Estimate(g, opts)
+}
+
+// FitMoment runs the non-private Gleich–Owen KronMom estimator on the
+// exact features of g ("KronMom" in the paper's Table 1). k <= 0 infers
+// the smallest adequate Kronecker power.
+func FitMoment(g *Graph, k int, opts MomentOptions) (MomentEstimate, error) {
+	return kronmom.FitGraph(g, k, opts)
+}
+
+// FitMomentFeatures runs KronMom directly on a feature vector, which is
+// how Algorithm 1 consumes its private features.
+func FitMomentFeatures(f Features, k int, opts MomentOptions) (MomentEstimate, error) {
+	return kronmom.Fit(f, k, opts)
+}
+
+// FitMLE runs the non-private KronFit approximate maximum-likelihood
+// estimator ("KronFit" in the paper's Table 1).
+func FitMLE(g *Graph, opts MLEOptions) (MLEResult, error) {
+	return kronfit.Fit(g, opts)
+}
+
+// FeaturesOf computes the exact matching features (edges, hairpins,
+// tripins, triangles) of g.
+func FeaturesOf(g *Graph) Features { return stats.FeaturesOf(g) }
+
+// HopPlot returns the exact cumulative hop plot of g (ordered pairs,
+// including self-pairs, within h hops) by all-source BFS.
+func HopPlot(g *Graph) []int64 { return stats.HopPlot(g) }
+
+// ApproxHopPlot estimates the hop plot with ANF sketches; trials
+// controls accuracy (32 is typical).
+func ApproxHopPlot(g *Graph, trials int, rng *Rand) []float64 {
+	return anf.HopPlot(g, anf.Options{Trials: trials, Rng: rng})
+}
+
+// DegreeDistribution returns (degree, node count) pairs sorted by degree.
+func DegreeDistribution(g *Graph) []DegreePoint { return stats.DegreeDistribution(g) }
+
+// ClusteringByDegree returns the average local clustering coefficient
+// per node degree.
+func ClusteringByDegree(g *Graph) []DegreePoint { return stats.ClusteringByDegree(g) }
+
+// ScreeValues returns the top-k singular values of the adjacency matrix,
+// descending (the paper's scree plot series).
+func ScreeValues(g *Graph, k int, rng *Rand) []float64 { return linalg.ScreeValues(g, k, rng) }
+
+// NetworkValues returns the sorted absolute components of the principal
+// eigenvector (the paper's network-value series).
+func NetworkValues(g *Graph, rng *Rand) []float64 { return linalg.NetworkValues(g, rng) }
+
+// Triangles returns the exact triangle count of g.
+func Triangles(g *Graph) int64 { return stats.Triangles(g) }

@@ -1,0 +1,27 @@
+package dp
+
+import "fmt"
+
+// KEdge converts a 1-edge differential privacy guarantee into the
+// corresponding k-edge guarantee via group privacy / the composition
+// theorem, as in Hay et al. and §4.1 of the paper: an algorithm that is
+// (ε, δ)-DP for single-edge neighbours is (kε, kδ)-DP for graphs
+// differing in at most k edges (and node attributes counted within the
+// k-edge budget). This is the paper's "weak form of node privacy": a
+// node of degree d is protected at level (dε, dδ).
+func KEdge(b Budget, k int) Budget {
+	if k < 1 {
+		panic(fmt.Sprintf("dp: k-edge requires k >= 1, got %d", k))
+	}
+	return Budget{Eps: float64(k) * b.Eps, Delta: float64(k) * b.Delta}
+}
+
+// NodeGuarantee returns the k-edge guarantee protecting a node of the
+// given degree: toggling all of its incident edges is a degree-sized
+// edge-set change.
+func NodeGuarantee(b Budget, degree int) Budget {
+	if degree < 1 {
+		return Budget{}
+	}
+	return KEdge(b, degree)
+}

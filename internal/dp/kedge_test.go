@@ -1,0 +1,50 @@
+package dp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKEdge(t *testing.T) {
+	b := Budget{Eps: 0.2, Delta: 0.01}
+	got := KEdge(b, 5)
+	if math.Abs(got.Eps-1.0) > 1e-15 || math.Abs(got.Delta-0.05) > 1e-15 {
+		t.Fatalf("KEdge = %v", got)
+	}
+	if KEdge(b, 1) != b {
+		t.Fatal("KEdge(b, 1) must be identity")
+	}
+}
+
+func TestKEdgePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k=0")
+		}
+	}()
+	KEdge(Budget{Eps: 1}, 0)
+}
+
+func TestNodeGuarantee(t *testing.T) {
+	b := Budget{Eps: 0.1, Delta: 0.001}
+	got := NodeGuarantee(b, 10)
+	if math.Abs(got.Eps-1.0) > 1e-12 || math.Abs(got.Delta-0.01) > 1e-12 {
+		t.Fatalf("NodeGuarantee = %v", got)
+	}
+	if z := NodeGuarantee(b, 0); z.Eps != 0 || z.Delta != 0 {
+		t.Fatal("isolated node needs no budget")
+	}
+}
+
+func TestQuickKEdgeLinear(t *testing.T) {
+	f := func(e uint16, k8 uint8) bool {
+		k := 1 + int(k8%20)
+		b := Budget{Eps: float64(e) / 1000}
+		got := KEdge(b, k)
+		return math.Abs(got.Eps-float64(k)*b.Eps) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderFigure produces a compact textual rendition of a figure: per
+// panel, the overlaid series sampled at a handful of points — enough to
+// compare curve shapes across estimators, which is what the paper's
+// figures communicate.
+func RenderFigure(res *FigureResult, maxPoints int) string {
+	if maxPoints <= 0 {
+		maxPoints = 10
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure: %s (k=%d, n=%d)\n", res.Dataset.Name, res.Dataset.K, 1<<res.Dataset.K)
+	fmt.Fprintf(&b, "estimates:")
+	for _, name := range EstimatorNames {
+		fmt.Fprintf(&b, "  %s=%s", name, triple(res.Estimates[name]))
+	}
+	fmt.Fprintln(&b)
+	for _, panel := range PanelNames {
+		fmt.Fprintf(&b, "\n(%s)\n", panel)
+		writeSeries(&b, "Original", res.Original.Panel(panel), maxPoints)
+		for _, name := range EstimatorNames {
+			writeSeries(&b, name, res.Single[name].Panel(panel), maxPoints)
+		}
+		if res.Expected != nil {
+			for _, name := range EstimatorNames {
+				writeSeries(&b, "E["+name+"]", res.Expected[name].Panel(panel), maxPoints)
+			}
+		}
+	}
+	return b.String()
+}
+
+func writeSeries(w io.Writer, label string, s Series, maxPoints int) {
+	fmt.Fprintf(w, "  %-12s", label)
+	n := len(s.X)
+	if n == 0 {
+		fmt.Fprintln(w, " (empty)")
+		return
+	}
+	idxs := sampleIndices(n, maxPoints)
+	for _, i := range idxs {
+		fmt.Fprintf(w, " (%.3g, %.3g)", s.X[i], s.Y[i])
+	}
+	fmt.Fprintln(w)
+}
+
+// sampleIndices picks up to count indices spread across [0, n),
+// always including the first and last.
+func sampleIndices(n, count int) []int {
+	if n <= count {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := make([]int, count)
+	for i := range out {
+		out[i] = i * (n - 1) / (count - 1)
+	}
+	return out
+}
+
+// WriteCSV emits a figure as CSV rows: panel, series, x, y.
+func WriteCSV(w io.Writer, res *FigureResult) error {
+	if _, err := fmt.Fprintln(w, "panel,series,x,y"); err != nil {
+		return err
+	}
+	emit := func(panel, series string, s Series) error {
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "%s,%s,%g,%g\n", panel, series, s.X[i], s.Y[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, panel := range PanelNames {
+		if err := emit(panel, "Original", res.Original.Panel(panel)); err != nil {
+			return err
+		}
+		for _, name := range EstimatorNames {
+			if err := emit(panel, name, res.Single[name].Panel(panel)); err != nil {
+				return err
+			}
+		}
+		if res.Expected != nil {
+			for _, name := range EstimatorNames {
+				if err := emit(panel, "Expected-"+name, res.Expected[name].Panel(panel)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"dpkron/internal/core"
+	"dpkron/internal/graph"
+	"dpkron/internal/kronmom"
+	"dpkron/internal/randx"
+	"dpkron/internal/skg"
+	"dpkron/internal/smoothsens"
+	"dpkron/internal/stats"
+)
+
+// SweepRow is one ε point of the privacy–utility sweep: how far the
+// private estimate lands from the non-private KronMom estimate on the
+// same graph, averaged over trials.
+type SweepRow struct {
+	Eps            float64
+	MeanParamDiff  float64 // mean over trials of MaxAbsDiff(private, kronmom)
+	MeanFeatureErr float64 // mean relative L1 error of private features
+}
+
+// EpsilonSweep measures utility as a function of ε on the given graph.
+func EpsilonSweep(g *graph.Graph, k int, epsilons []float64, delta float64, trials int, seed uint64) ([]SweepRow, error) {
+	base, err := kronmom.FitGraph(g, k, kronmom.Options{Rng: randx.New(seed)})
+	if err != nil {
+		return nil, err
+	}
+	exact := stats.FeaturesOf(g)
+	var rows []SweepRow
+	for _, eps := range epsilons {
+		var pd, fe float64
+		for t := 0; t < trials; t++ {
+			res, err := core.Estimate(g, core.Options{
+				Eps: eps, Delta: delta, K: k,
+				Rng: randx.New(seed + uint64(t)*7919 + uint64(math.Float64bits(eps))),
+			})
+			if err != nil {
+				return nil, err
+			}
+			pd += MaxAbsDiff(res.Init, base.Init)
+			fe += relL1(res.Features, exact)
+		}
+		rows = append(rows, SweepRow{
+			Eps:            eps,
+			MeanParamDiff:  pd / float64(trials),
+			MeanFeatureErr: fe / float64(trials),
+		})
+	}
+	return rows, nil
+}
+
+func relL1(got, want stats.Features) float64 {
+	total := 0.0
+	n := 0
+	for _, p := range [][2]float64{{got.E, want.E}, {got.H, want.H}, {got.T, want.T}, {got.Delta, want.Delta}} {
+		if math.Abs(p[1]) > 1e-9 {
+			total += math.Abs(p[0]-p[1]) / math.Abs(p[1])
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// RenderSweep formats sweep rows.
+func RenderSweep(rows []SweepRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s  %-18s  %-18s\n", "eps", "param diff vs mom", "feature rel err")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8.3f  %-18.4f  %-18.4f\n", r.Eps, r.MeanParamDiff, r.MeanFeatureErr)
+	}
+	return b.String()
+}
+
+// SSGrowthRow is one k point of the smooth-sensitivity growth study
+// (the paper's §5 preliminary observation that SS_Δ grows slowly with
+// graph size in the SKG model).
+type SSGrowthRow struct {
+	K               int
+	N               int
+	Edges           int
+	Triangles       int64
+	LocalSens       float64
+	SmoothSen       float64
+	NoiseOverSignal float64 // (2·SS/ε) / Δ, the relative noise magnitude
+}
+
+// SmoothSensGrowth samples one SKG per k and reports how the smooth
+// sensitivity of the triangle count scales.
+func SmoothSensGrowth(init skg.Initiator, ks []int, eps, delta float64, seed uint64) ([]SSGrowthRow, error) {
+	beta := smoothsens.BetaFor(eps/2, delta)
+	var rows []SSGrowthRow
+	for _, k := range ks {
+		m, err := skg.NewModel(init, k)
+		if err != nil {
+			return nil, err
+		}
+		g := m.Sample(randx.New(seed + uint64(k)))
+		tri := stats.Triangles(g)
+		ls := smoothsens.LocalSensitivity(g)
+		ss := smoothsens.Smooth(g, beta)
+		row := SSGrowthRow{
+			K: k, N: g.NumNodes(), Edges: g.NumEdges(),
+			Triangles: tri, LocalSens: ls, SmoothSen: ss,
+		}
+		if tri > 0 {
+			row.NoiseOverSignal = (2 * ss / (eps / 2)) / float64(tri)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderSSGrowth formats growth rows.
+func RenderSSGrowth(rows []SSGrowthRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-8s %-9s %-11s %-9s %-10s %-12s\n",
+		"k", "n", "edges", "triangles", "LS", "SS_beta", "noise/Delta")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-4d %-8d %-9d %-11d %-9.0f %-10.2f %-12.4f\n",
+			r.K, r.N, r.Edges, r.Triangles, r.LocalSens, r.SmoothSen, r.NoiseOverSignal)
+	}
+	return b.String()
+}
+
+// AblationRow is one Dist×Norm combination's recovery error on the
+// synthetic dataset (Gleich–Owen's robustness comparison, which led
+// them — and the paper — to DistSq/NormF²).
+type AblationRow struct {
+	Dist    kronmom.Dist
+	Norm    kronmom.Norm
+	Err     float64 // MaxAbsDiff(fit, truth)
+	ObjName string
+}
+
+// DistNormAblation fits every objective variant on a synthetic SKG with
+// known parameters.
+func DistNormAblation(truth skg.Initiator, k int, seed uint64) ([]AblationRow, error) {
+	m, err := skg.NewModel(truth, k)
+	if err != nil {
+		return nil, err
+	}
+	g := m.Sample(randx.New(seed))
+	feats := stats.FeaturesOf(g)
+	var rows []AblationRow
+	for _, d := range []kronmom.Dist{kronmom.DistSq, kronmom.DistAbs} {
+		for _, n := range []kronmom.Norm{kronmom.NormF, kronmom.NormF2, kronmom.NormE, kronmom.NormE2} {
+			est, err := kronmom.Fit(feats, k, kronmom.Options{
+				Objective: kronmom.Objective{Dist: d, Norm: n, Features: kronmom.AllFeatures()},
+				Rng:       randx.New(seed + 99),
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, AblationRow{
+				Dist: d, Norm: n,
+				Err:     MaxAbsDiff(est.Init, truth.Canonical()),
+				ObjName: d.String() + "/" + n.String(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderAblation formats ablation rows.
+func RenderAblation(rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s  %-10s\n", "objective", "max |err|")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s  %-10.4f\n", r.ObjName, r.Err)
+	}
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeList(t *testing.T) {
+	in := `# Comment line
+# Nodes: 4 Edges: 3
+0	1
+1 2
+
+2	3
+`
+	g, err := ReadEdgeList(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 4 || g.NumEdges() != 3 {
+		t.Fatalf("nodes=%d edges=%d, want 4/3", g.NumNodes(), g.NumEdges())
+	}
+	if !g.HasEdge(1, 2) {
+		t.Fatal("edge (1,2) missing")
+	}
+}
+
+func TestReadEdgeListMinNodes(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 10 {
+		t.Fatalf("nodes = %d, want 10", g.NumNodes())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",    // one field
+		"a b\n",  // non-integer
+		"0 x\n",  // non-integer second
+		"-1 2\n", // negative
+		"3 -7\n", // negative second
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in), 0); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := randomGraph(25, 0.25, 3)
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf, g.NumNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(back) {
+		t.Fatal("round trip changed the graph")
+	}
+}
+
+func TestReadEmptyInput(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("# only comments\n"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatal("empty input should give empty graph")
+	}
+}
+
+func TestReadEdgeListHonorsSnapHeader(t *testing.T) {
+	in := "# Nodes: 9 Edges: 1\n0 1\n"
+	g, err := ReadEdgeList(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 9 {
+		t.Fatalf("nodes = %d, want 9 from SNAP header", g.NumNodes())
+	}
+}
+
+func TestReadEdgeListHonorsWriterHeader(t *testing.T) {
+	in := "# Undirected graph: 12 nodes, 1 edges\n0 1\n"
+	g, err := ReadEdgeList(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 12 {
+		t.Fatalf("nodes = %d, want 12 from writer header", g.NumNodes())
+	}
+}
+
+func TestRoundTripPreservesIsolatedNodes(t *testing.T) {
+	b := NewBuilder(20) // nodes 10..19 isolated
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 9)
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != 20 {
+		t.Fatalf("round trip lost isolated nodes: %d, want 20", back.NumNodes())
+	}
+	if !g.Equal(back) {
+		t.Fatal("round trip changed the graph")
+	}
+}
+
+func TestHeaderNodeCountIgnoresGarbage(t *testing.T) {
+	for _, c := range []string{"# hello world", "# Nodes: x", "# nodes", "#"} {
+		if n, ok := headerNodeCount(c); ok {
+			t.Errorf("%q parsed as %d", c, n)
+		}
+	}
+}

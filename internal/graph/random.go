@@ -1,0 +1,75 @@
+package graph
+
+import (
+	"math"
+
+	"dpkron/internal/randx"
+)
+
+// Gnp samples an Erdős–Rényi G(n, p) graph: every unordered pair is an
+// edge independently with probability p. For small p it uses geometric
+// skipping over the pair sequence (Batagelj–Brandes), giving expected
+// O(n + m) time; p >= 1 yields the complete graph. G(n, p) is the model
+// Nissim et al. analyze for the smooth sensitivity of triangle counts,
+// and serves as the comparison substrate for the paper's §5 question of
+// how SS_Δ grows in the SKG model.
+func Gnp(n int, p float64, rng *randx.Rand) *Graph {
+	if n < 0 {
+		panic("graph: Gnp n must be non-negative")
+	}
+	b := NewBuilder(n)
+	if p <= 0 || n < 2 {
+		return b.Build()
+	}
+	if p >= 1 {
+		return Complete(n)
+	}
+	// Iterate edges (v, w), w < v, skipping ahead by geometric gaps in
+	// the linearized lower-triangle order.
+	logq := math.Log(1 - p)
+	v, w := 1, -1
+	for v < n {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		w += 1 + int(math.Log(u)/logq)
+		for w >= v && v < n {
+			w -= v
+			v++
+		}
+		if v < n {
+			b.AddEdge(v, w)
+		}
+	}
+	return b.Build()
+}
+
+// GnmRandom samples a uniform graph with exactly m distinct edges
+// (the G(n, m) model) by rejection, which is efficient while
+// m is well below the total pair count.
+func GnmRandom(n, m int, rng *randx.Rand) *Graph {
+	maxPairs := n * (n - 1) / 2
+	if m > maxPairs {
+		m = maxPairs
+	}
+	b := NewBuilder(n)
+	seen := make(map[int64]struct{}, 2*m)
+	for len(seen) < m {
+		u := rng.IntN(n)
+		v := rng.IntN(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := int64(u)<<32 | int64(v)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}

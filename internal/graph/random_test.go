@@ -1,0 +1,102 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"dpkron/internal/randx"
+)
+
+func TestGnpEdgeCount(t *testing.T) {
+	rng := randx.New(1)
+	const n = 200
+	const p = 0.05
+	const trials = 50
+	var sum float64
+	for i := 0; i < trials; i++ {
+		g := Gnp(n, p, rng)
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		sum += float64(g.NumEdges())
+	}
+	mean := sum / trials
+	want := p * float64(n*(n-1)/2)
+	// sd per trial ≈ sqrt(E(1-p)) ≈ 30.7, se of mean ≈ 4.3.
+	if math.Abs(mean-want) > 15 {
+		t.Fatalf("mean edges = %v, want ~%v", mean, want)
+	}
+}
+
+func TestGnpExtremes(t *testing.T) {
+	rng := randx.New(2)
+	if g := Gnp(10, 0, rng); g.NumEdges() != 0 {
+		t.Fatal("p=0 should be edgeless")
+	}
+	if g := Gnp(10, 1, rng); g.NumEdges() != 45 {
+		t.Fatalf("p=1 should be complete, got %d edges", g.NumEdges())
+	}
+	if g := Gnp(0, 0.5, rng); g.NumNodes() != 0 {
+		t.Fatal("n=0")
+	}
+	if g := Gnp(1, 0.5, rng); g.NumEdges() != 0 {
+		t.Fatal("n=1 must have no edges")
+	}
+}
+
+func TestGnpDegreeDistribution(t *testing.T) {
+	// Mean degree should be ~p(n-1).
+	rng := randx.New(3)
+	g := Gnp(2000, 0.01, rng)
+	sum := 0
+	for _, d := range g.Degrees() {
+		sum += d
+	}
+	mean := float64(sum) / 2000
+	want := 0.01 * 1999.0
+	if math.Abs(mean-want) > 1.5 {
+		t.Fatalf("mean degree = %v, want ~%v", mean, want)
+	}
+}
+
+func TestGnpUniformPairCoverage(t *testing.T) {
+	// Every pair should be hit with roughly equal frequency: check a
+	// few specific pairs over many samples on a tiny graph.
+	rng := randx.New(4)
+	const trials = 4000
+	count01, count34 := 0, 0
+	for i := 0; i < trials; i++ {
+		g := Gnp(5, 0.3, rng)
+		if g.HasEdge(0, 1) {
+			count01++
+		}
+		if g.HasEdge(3, 4) {
+			count34++
+		}
+	}
+	for _, c := range []int{count01, count34} {
+		p := float64(c) / trials
+		if math.Abs(p-0.3) > 0.025 {
+			t.Fatalf("pair rate = %v, want 0.3 (counts %d, %d)", p, count01, count34)
+		}
+	}
+}
+
+func TestGnmExactCount(t *testing.T) {
+	rng := randx.New(5)
+	g := GnmRandom(50, 100, rng)
+	if g.NumEdges() != 100 {
+		t.Fatalf("edges = %d, want 100", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGnmCapsAtComplete(t *testing.T) {
+	rng := randx.New(6)
+	g := GnmRandom(6, 1000, rng)
+	if g.NumEdges() != 15 {
+		t.Fatalf("edges = %d, want 15 (complete)", g.NumEdges())
+	}
+}

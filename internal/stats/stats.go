@@ -1,0 +1,346 @@
+// Package stats computes the graph statistics used throughout the paper:
+// the four matching features (edges, hairpins, tripins, triangles) of
+// Gleich–Owen moment estimation, and the five descriptive statistics of
+// the experimental section (degree distribution, hop plot, scree plot
+// inputs, clustering coefficient by degree). All counters are exact;
+// see package anf for the sketch-based hop plot approximation.
+package stats
+
+import (
+	"sort"
+
+	"dpkron/internal/graph"
+)
+
+// Features holds the four matching statistics of the observed graph in
+// Gleich–Owen notation: E edges, H hairpins (2-stars/wedges), T tripins
+// (3-stars) and Delta triangles. Values are float64 because the private
+// versions derived from noisy degree sequences are not integral.
+type Features struct {
+	E     float64 // number of edges
+	H     float64 // number of hairpins (wedges)
+	T     float64 // number of tripins (3-stars)
+	Delta float64 // number of triangles
+}
+
+// FeaturesOf computes the exact feature vector of g.
+func FeaturesOf(g *graph.Graph) Features {
+	return Features{
+		E:     float64(g.NumEdges()),
+		H:     float64(Wedges(g)),
+		T:     float64(Tripins(g)),
+		Delta: float64(Triangles(g)),
+	}
+}
+
+// FeaturesFromDegrees computes the three degree-derived features from a
+// (possibly noisy, non-integral) degree sequence, exactly as Fact 4.6 in
+// the paper: E = ½Σdᵢ, H = ½Σdᵢ(dᵢ−1), T = ⅙Σdᵢ(dᵢ−1)(dᵢ−2).
+// Delta is left zero; it is supplied by the smooth-sensitivity mechanism.
+func FeaturesFromDegrees(d []float64) Features {
+	var e, h, t float64
+	for _, x := range d {
+		e += x
+		h += x * (x - 1)
+		t += x * (x - 1) * (x - 2)
+	}
+	return Features{E: e / 2, H: h / 2, T: t / 6}
+}
+
+// Wedges returns the number of hairpins (paths of length two, also
+// called 2-stars or wedges): Σ_v C(d_v, 2).
+func Wedges(g *graph.Graph) int64 {
+	var total int64
+	for v := 0; v < g.NumNodes(); v++ {
+		d := int64(g.Degree(v))
+		total += d * (d - 1) / 2
+	}
+	return total
+}
+
+// Tripins returns the number of 3-stars: Σ_v C(d_v, 3).
+func Tripins(g *graph.Graph) int64 {
+	var total int64
+	for v := 0; v < g.NumNodes(); v++ {
+		d := int64(g.Degree(v))
+		total += d * (d - 1) * (d - 2) / 6
+	}
+	return total
+}
+
+// Triangles returns the exact number of triangles in g using the
+// forward algorithm over sorted adjacency lists: every triangle
+// u < v < w is counted once at its smallest vertex pair.
+func Triangles(g *graph.Graph) int64 {
+	var total int64
+	n := g.NumNodes()
+	for u := 0; u < n; u++ {
+		nu := g.Neighbors(u)
+		for i, v := range nu {
+			if int(v) <= u {
+				continue
+			}
+			// Count common neighbours w of u and v with w > v.
+			total += countCommonAbove(nu[i+1:], g.Neighbors(int(v)), v)
+		}
+	}
+	return total
+}
+
+// countCommonAbove counts elements present in both sorted lists a and b
+// that are strictly greater than lim. a is assumed already restricted to
+// values > lim by the caller slicing; b is scanned past lim first.
+func countCommonAbove(a, b []int32, lim int32) int64 {
+	j := sort.Search(len(b), func(i int) bool { return b[i] > lim })
+	b = b[j:]
+	var count int64
+	i, k := 0, 0
+	for i < len(a) && k < len(b) {
+		switch {
+		case a[i] < b[k]:
+			i++
+		case a[i] > b[k]:
+			k++
+		default:
+			count++
+			i++
+			k++
+		}
+	}
+	return count
+}
+
+// TrianglesPerNode returns, for every node, the number of triangles it
+// participates in. Summing the result counts each triangle three times.
+func TrianglesPerNode(g *graph.Graph) []int64 {
+	n := g.NumNodes()
+	per := make([]int64, n)
+	for u := 0; u < n; u++ {
+		nu := g.Neighbors(u)
+		for i, v := range nu {
+			if int(v) <= u {
+				continue
+			}
+			// For each common neighbour w > v of u and v, credit all three.
+			forEachCommonAbove(nu[i+1:], g.Neighbors(int(v)), v, func(w int32) {
+				per[u]++
+				per[v]++
+				per[w]++
+			})
+		}
+	}
+	return per
+}
+
+func forEachCommonAbove(a, b []int32, lim int32, fn func(int32)) {
+	j := sort.Search(len(b), func(i int) bool { return b[i] > lim })
+	b = b[j:]
+	i, k := 0, 0
+	for i < len(a) && k < len(b) {
+		switch {
+		case a[i] < b[k]:
+			i++
+		case a[i] > b[k]:
+			k++
+		default:
+			fn(a[i])
+			i++
+			k++
+		}
+	}
+}
+
+// CommonNeighbors returns |N(u) ∩ N(v)| for two distinct nodes.
+func CommonNeighbors(g *graph.Graph, u, v int) int {
+	a, b := g.Neighbors(u), g.Neighbors(v)
+	count := 0
+	i, k := 0, 0
+	for i < len(a) && k < len(b) {
+		switch {
+		case a[i] < b[k]:
+			i++
+		case a[i] > b[k]:
+			k++
+		default:
+			count++
+			i++
+			k++
+		}
+	}
+	return count
+}
+
+// LocalClustering returns the local clustering coefficient of every node:
+// c_v = 2·tri(v) / (d_v (d_v − 1)), defined as 0 for d_v < 2.
+func LocalClustering(g *graph.Graph) []float64 {
+	tri := TrianglesPerNode(g)
+	out := make([]float64, g.NumNodes())
+	for v := range out {
+		d := g.Degree(v)
+		if d >= 2 {
+			out[v] = 2 * float64(tri[v]) / (float64(d) * float64(d-1))
+		}
+	}
+	return out
+}
+
+// DegreePoint is one point of a per-degree aggregated series.
+type DegreePoint struct {
+	Degree int
+	Value  float64
+	Count  int // number of nodes with this degree
+}
+
+// ClusteringByDegree returns the average local clustering coefficient as
+// a function of node degree (the paper's Figure panel (e)), over degrees
+// that occur in the graph with d >= 1, sorted ascending by degree.
+func ClusteringByDegree(g *graph.Graph) []DegreePoint {
+	cc := LocalClustering(g)
+	sum := map[int]float64{}
+	cnt := map[int]int{}
+	for v := 0; v < g.NumNodes(); v++ {
+		d := g.Degree(v)
+		if d < 1 {
+			continue
+		}
+		sum[d] += cc[v]
+		cnt[d]++
+	}
+	return aggregate(sum, cnt)
+}
+
+// DegreeDistribution returns (degree, count-of-nodes) pairs sorted by
+// degree ascending, skipping degree 0 to match the paper's log–log plots.
+func DegreeDistribution(g *graph.Graph) []DegreePoint {
+	cnt := map[int]int{}
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := g.Degree(v); d >= 1 {
+			cnt[d]++
+		}
+	}
+	out := make([]DegreePoint, 0, len(cnt))
+	for d, c := range cnt {
+		out = append(out, DegreePoint{Degree: d, Value: float64(c), Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Degree < out[j].Degree })
+	return out
+}
+
+func aggregate(sum map[int]float64, cnt map[int]int) []DegreePoint {
+	out := make([]DegreePoint, 0, len(sum))
+	for d, s := range sum {
+		out = append(out, DegreePoint{Degree: d, Value: s / float64(cnt[d]), Count: cnt[d]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Degree < out[j].Degree })
+	return out
+}
+
+// GlobalClustering returns the transitivity 3Δ/H, or 0 when H = 0.
+func GlobalClustering(g *graph.Graph) float64 {
+	h := Wedges(g)
+	if h == 0 {
+		return 0
+	}
+	return 3 * float64(Triangles(g)) / float64(h)
+}
+
+// ConnectedComponents labels each node with a component id in [0, #comps)
+// and returns the labels together with the component sizes.
+func ConnectedComponents(g *graph.Graph) (labels []int, sizes []int) {
+	n := g.NumNodes()
+	labels = make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var queue []int32
+	for s := 0; s < n; s++ {
+		if labels[s] >= 0 {
+			continue
+		}
+		id := len(sizes)
+		labels[s] = id
+		size := 1
+		queue = append(queue[:0], int32(s))
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, w := range g.Neighbors(int(u)) {
+				if labels[w] < 0 {
+					labels[w] = id
+					size++
+					queue = append(queue, w)
+				}
+			}
+		}
+		sizes = append(sizes, size)
+	}
+	return labels, sizes
+}
+
+// HopPlot returns the exact hop plot of g: element h is the number of
+// ordered node pairs (u, v), including u = v, with shortest-path distance
+// at most h. The slice extends to the graph's effective diameter, i.e.
+// until the count stops growing. Computed by a BFS from every node in
+// O(n·(n+m)) time; use package anf for large graphs.
+func HopPlot(g *graph.Graph) []int64 {
+	n := g.NumNodes()
+	// pairsAt[h] = number of ordered pairs at distance exactly h.
+	var pairsAt []int64
+	dist := make([]int32, n)
+	queue := make([]int32, 0, n)
+	for s := 0; s < n; s++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		queue = append(queue[:0], int32(s))
+		grow(&pairsAt, 0)
+		pairsAt[0]++
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			du := dist[u]
+			for _, w := range g.Neighbors(int(u)) {
+				if dist[w] < 0 {
+					dist[w] = du + 1
+					grow(&pairsAt, int(du+1))
+					pairsAt[du+1]++
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	// Cumulative sum.
+	out := make([]int64, len(pairsAt))
+	var acc int64
+	for h, c := range pairsAt {
+		acc += c
+		out[h] = acc
+	}
+	return out
+}
+
+func grow(s *[]int64, idx int) {
+	for len(*s) <= idx {
+		*s = append(*s, 0)
+	}
+}
+
+// EffectiveDiameter returns the smallest h at which the hop plot reaches
+// the given fraction (e.g. 0.9) of its final value, linearly
+// interpolated as in SNAP. hop must be a cumulative hop plot.
+func EffectiveDiameter(hop []int64, fraction float64) float64 {
+	if len(hop) == 0 {
+		return 0
+	}
+	target := fraction * float64(hop[len(hop)-1])
+	for h, v := range hop {
+		if float64(v) >= target {
+			if h == 0 {
+				return 0
+			}
+			prev := float64(hop[h-1])
+			return float64(h-1) + (target-prev)/(float64(v)-prev)
+		}
+	}
+	return float64(len(hop) - 1)
+}

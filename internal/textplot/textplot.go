@@ -1,0 +1,129 @@
+// Package textplot renders small ASCII scatter plots so the CLI can
+// display the paper's log–log figure panels directly in a terminal.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted curve.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Options controls the canvas.
+type Options struct {
+	Width  int  // default 72
+	Height int  // default 20
+	LogX   bool // log-scale the X axis
+	LogY   bool // log-scale the Y axis
+}
+
+func (o *Options) fill() {
+	if o.Width <= 0 {
+		o.Width = 72
+	}
+	if o.Height <= 0 {
+		o.Height = 20
+	}
+}
+
+var markers = []byte{'o', '+', 'x', '*', '#', '@', '%', '&'}
+
+// Render draws the series onto one canvas with a legend. Non-positive
+// values are skipped on log axes.
+func Render(series []Series, opts Options) string {
+	opts.fill()
+	tx := func(v float64) (float64, bool) { return v, true }
+	ty := tx
+	if opts.LogX {
+		tx = logT
+	}
+	if opts.LogY {
+		ty = logT
+	}
+	// Collect bounds.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			x, okx := tx(s.X[i])
+			y, oky := ty(s.Y[i])
+			if !okx || !oky {
+				continue
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if minX > maxX || minY > maxY {
+		return "(no plottable points)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, opts.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for i := range s.X {
+			x, okx := tx(s.X[i])
+			y, oky := ty(s.Y[i])
+			if !okx || !oky {
+				continue
+			}
+			col := int((x - minX) / (maxX - minX) * float64(opts.Width-1))
+			row := opts.Height - 1 - int((y-minY)/(maxY-minY)*float64(opts.Height-1))
+			if grid[row][col] == ' ' {
+				grid[row][col] = mark
+			}
+		}
+	}
+	var b strings.Builder
+	axisLabel := func(v float64, log bool) string {
+		if log {
+			return fmt.Sprintf("%.3g", math.Pow(10, v))
+		}
+		return fmt.Sprintf("%.3g", v)
+	}
+	for r, row := range grid {
+		edge := "|"
+		if r == 0 {
+			edge = fmt.Sprintf("| %s", axisLabel(maxY, opts.LogY))
+		}
+		if r == opts.Height-1 {
+			edge = fmt.Sprintf("| %s", axisLabel(minY, opts.LogY))
+		}
+		line := strings.TrimRight(string(row), " ")
+		fmt.Fprintf(&b, "%s%s\n", edge, line)
+	}
+	fmt.Fprintf(&b, "+%s\n", strings.Repeat("-", opts.Width))
+	fmt.Fprintf(&b, " %s%s%s\n", axisLabel(minX, opts.LogX),
+		strings.Repeat(" ", max(1, opts.Width-16)), axisLabel(maxX, opts.LogX))
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+func logT(v float64) (float64, bool) {
+	if v <= 0 {
+		return 0, false
+	}
+	return math.Log10(v), true
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,61 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	s := []Series{
+		{Name: "linear", X: []float64{1, 2, 3, 4}, Y: []float64{1, 2, 3, 4}},
+		{Name: "flat", X: []float64{1, 2, 3, 4}, Y: []float64{2, 2, 2, 2}},
+	}
+	out := Render(s, Options{Width: 40, Height: 10})
+	if !strings.Contains(out, "o linear") || !strings.Contains(out, "+ flat") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "o") {
+		t.Fatal("no points plotted")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 13 {
+		t.Fatalf("canvas too small: %d lines", len(lines))
+	}
+}
+
+func TestRenderLogLogSkipsNonPositive(t *testing.T) {
+	s := []Series{{Name: "s", X: []float64{0, 1, 10, 100}, Y: []float64{-1, 1, 10, 100}}}
+	out := Render(s, Options{LogX: true, LogY: true})
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("bad axis labels:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Render([]Series{{Name: "none"}}, Options{})
+	if !strings.Contains(out, "no plottable points") {
+		t.Fatalf("empty render = %q", out)
+	}
+	out = Render([]Series{{Name: "allneg", X: []float64{1}, Y: []float64{-5}}}, Options{LogY: true})
+	if !strings.Contains(out, "no plottable points") {
+		t.Fatalf("non-positive log render = %q", out)
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	out := Render([]Series{{Name: "pt", X: []float64{5}, Y: []float64{7}}}, Options{Width: 20, Height: 5})
+	if !strings.Contains(out, "o") {
+		t.Fatalf("point not plotted:\n%s", out)
+	}
+}
+
+func TestMarkersCycle(t *testing.T) {
+	var ss []Series
+	for i := 0; i < 10; i++ {
+		ss = append(ss, Series{Name: "s", X: []float64{1}, Y: []float64{float64(i)}})
+	}
+	out := Render(ss, Options{})
+	if !strings.Contains(out, "@") {
+		t.Fatalf("marker cycling failed:\n%s", out)
+	}
+}
