@@ -25,6 +25,7 @@ import (
 	"testing"
 
 	"dpkron"
+	"dpkron/internal/anf"
 	"dpkron/internal/core"
 	"dpkron/internal/degseq"
 	"dpkron/internal/experiments"
@@ -125,6 +126,92 @@ func BenchmarkDistNormAblation(b *testing.B) {
 			b.Fatal(err)
 		}
 		printResult("Dist/Norm ablation (k=12 synthetic)", experiments.RenderAblation(rows))
+	}
+}
+
+// --- Serial vs parallel: the sharded engine at scale ---
+//
+// These benchmarks compare the worker-pool hot paths against their
+// single-goroutine baselines on k >= 16 inputs (65k–262k nodes). The
+// workers=1 case runs the identical sharded code on one goroutine, so
+// the ratio isolates parallel speedup rather than algorithmic changes;
+// outputs are bit-identical across worker counts by construction.
+//
+//	go test -bench 'SampleExact/|SampleBallDrop/|Features/' -benchtime 1x
+
+var featureGraphCache sync.Map
+
+// featureGraph returns a cached dense-ish ball-drop SKG sample at the
+// given k, shared across sub-benchmarks so setup cost is paid once.
+func featureGraph(b *testing.B, k, edges int) *dpkron.Graph {
+	b.Helper()
+	key := fmt.Sprintf("%d/%d", k, edges)
+	if g, ok := featureGraphCache.Load(key); ok {
+		return g.(*dpkron.Graph)
+	}
+	m := skg.Model{Init: skg.Initiator{A: 0.99, B: 0.45, C: 0.25}, K: k}
+	g := m.SampleBallDropN(randx.New(99), edges)
+	featureGraphCache.Store(key, g)
+	return g
+}
+
+func BenchmarkSampleExact(b *testing.B) {
+	m := skg.Model{Init: skg.Initiator{A: 0.99, B: 0.45, C: 0.25}, K: 16}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("k=16/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := m.SampleExactWorkers(randx.New(uint64(i)+1), workers)
+				if g.NumNodes() != 1<<16 {
+					b.Fatal("bad sample")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSampleBallDrop(b *testing.B) {
+	m := skg.Model{Init: skg.Initiator{A: 0.99, B: 0.45, C: 0.25}, K: 18}
+	target := 1 << 21 // 2M edges on 262k nodes
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("k=18/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := m.SampleBallDropNWorkers(randx.New(uint64(i)+1), target, workers)
+				if g.NumEdges() != target {
+					b.Fatalf("placed %d edges, want %d", g.NumEdges(), target)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFeatures measures the full matching-feature computation
+// (edges, wedges, tripins, triangles) on a k=17 graph with 2M edges.
+func BenchmarkFeatures(b *testing.B) {
+	g := featureGraph(b, 17, 1<<21)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("k=17/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f := stats.FeaturesOfWorkers(g, workers)
+				if f.E == 0 {
+					b.Fatal("bad features")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHopPlotANFWorkers measures sketch propagation at k=16.
+func BenchmarkHopPlotANFWorkers(b *testing.B) {
+	g := featureGraph(b, 16, 1<<20)
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("k=16/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				anf.HopPlot(g, anf.Options{Trials: 16, Rng: randx.New(5), Workers: workers})
+			}
+		})
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"dpkron/internal/core"
@@ -31,6 +32,14 @@ import (
 	"dpkron/internal/stats"
 	"dpkron/internal/textplot"
 )
+
+// workersFlag registers the shared -workers flag: every command shards
+// its hot paths across this many goroutines. Results are identical for
+// any value; the flag only bounds parallelism.
+func workersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", runtime.GOMAXPROCS(0),
+		"goroutines for parallel sampling/counting/fitting (results are worker-count invariant)")
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -93,8 +102,9 @@ func cmdTable1(args []string) error {
 	delta := fs.Float64("delta", 0.01, "delta")
 	seed := fs.Uint64("seed", 7, "random seed")
 	iters := fs.Int("kronfit-iters", 60, "KronFit gradient iterations")
+	workers := workersFlag(fs)
 	fs.Parse(args)
-	opts := experiments.Table1Options{Eps: *eps, Delta: *delta, Seed: *seed, KronFitIters: *iters}
+	opts := experiments.Table1Options{Eps: *eps, Delta: *delta, Seed: *seed, KronFitIters: *iters, Workers: *workers}
 	rows, err := experiments.RunTable1(opts)
 	if err != nil {
 		return err
@@ -112,13 +122,14 @@ func cmdFigure(args []string) error {
 	eps := fs.Float64("eps", 0.2, "total epsilon")
 	delta := fs.Float64("delta", 0.01, "delta")
 	seed := fs.Uint64("seed", 11, "random seed")
+	workers := workersFlag(fs)
 	fs.Parse(args)
 	d, err := experiments.Lookup(*name)
 	if err != nil {
 		return err
 	}
 	res, err := experiments.RunFigure(d, experiments.FigureOptions{
-		Eps: *eps, Delta: *delta, Seed: *seed, ExpectedRuns: *expected,
+		Eps: *eps, Delta: *delta, Seed: *seed, ExpectedRuns: *expected, Workers: *workers,
 	})
 	if err != nil {
 		return err
@@ -170,6 +181,7 @@ func cmdFit(args []string) error {
 	delta := fs.Float64("delta", 0.01, "delta (private)")
 	k := fs.Int("k", 0, "Kronecker power (0 = infer)")
 	seed := fs.Uint64("seed", 1, "random seed")
+	workers := workersFlag(fs)
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("-in is required")
@@ -181,7 +193,7 @@ func cmdFit(args []string) error {
 	rng := randx.New(*seed)
 	switch strings.ToLower(*method) {
 	case "private":
-		res, err := core.Estimate(g, core.Options{Eps: *eps, Delta: *delta, K: *k, Rng: rng})
+		res, err := core.Estimate(g, core.Options{Eps: *eps, Delta: *delta, K: *k, Rng: rng, Workers: *workers})
 		if err != nil {
 			return err
 		}
@@ -192,13 +204,13 @@ func cmdFit(args []string) error {
 			fmt.Printf("  budget: %-40s %s\n", c.Label, c.Budget)
 		}
 	case "mom":
-		res, err := kronmom.FitGraph(g, *k, kronmom.Options{Rng: rng})
+		res, err := kronmom.FitGraph(g, *k, kronmom.Options{Rng: rng, Workers: *workers})
 		if err != nil {
 			return err
 		}
 		fmt.Printf("KronMom initiator: %s  (k=%d, objective=%.3g)\n", res.Init, res.K, res.Objective)
 	case "mle":
-		res, err := kronfit.Fit(g, kronfit.Options{K: *k, Rng: rng})
+		res, err := kronfit.Fit(g, kronfit.Options{K: *k, Rng: rng, Workers: *workers})
 		if err != nil {
 			return err
 		}
@@ -218,6 +230,7 @@ func cmdGenerate(args []string) error {
 	out := fs.String("out", "", "output edge-list file (default stdout)")
 	method := fs.String("method", "auto", "exact | balldrop | auto")
 	seed := fs.Uint64("seed", 1, "random seed")
+	workers := workersFlag(fs)
 	fs.Parse(args)
 	m, err := skg.NewModel(skg.Initiator{A: *a, B: *b, C: *c}, *k)
 	if err != nil {
@@ -227,11 +240,11 @@ func cmdGenerate(args []string) error {
 	var g *graph.Graph
 	switch strings.ToLower(*method) {
 	case "exact":
-		g = m.SampleExact(rng)
+		g = m.SampleExactWorkers(rng, *workers)
 	case "balldrop":
-		g = m.SampleBallDrop(rng)
+		g = m.SampleBallDropWorkers(rng, *workers)
 	default:
-		g = m.Sample(rng)
+		g = m.SampleWorkers(rng, *workers)
 	}
 	w := os.Stdout
 	if *out != "" {
@@ -254,6 +267,7 @@ func cmdGenerate(args []string) error {
 func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	in := fs.String("in", "", "edge-list file (required)")
+	workers := workersFlag(fs)
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("-in is required")
@@ -262,11 +276,11 @@ func cmdStats(args []string) error {
 	if err != nil {
 		return err
 	}
-	f := stats.FeaturesOf(g)
+	f := stats.FeaturesOfWorkers(g, *workers)
 	fmt.Printf("nodes: %d\nedges: %.0f\nhairpins (wedges): %.0f\ntripins (3-stars): %.0f\ntriangles: %.0f\n",
 		g.NumNodes(), f.E, f.H, f.T, f.Delta)
 	fmt.Printf("global clustering: %.4f\nmax degree: %d\n", stats.GlobalClustering(g), g.MaxDegree())
-	hop := stats.HopPlot(g)
+	hop := stats.HopPlotWorkers(g, *workers)
 	fmt.Printf("effective diameter (90%%): %.2f\n", stats.EffectiveDiameter(hop, 0.9))
 	_, sizes := stats.ConnectedComponents(g)
 	largest := 0
@@ -285,14 +299,15 @@ func cmdSweep(args []string) error {
 	trials := fs.Int("trials", 5, "trials per epsilon")
 	delta := fs.Float64("delta", 0.01, "delta")
 	seed := fs.Uint64("seed", 3, "random seed")
+	workers := workersFlag(fs)
 	fs.Parse(args)
 	d, err := experiments.Lookup(*name)
 	if err != nil {
 		return err
 	}
-	g := d.Generate()
-	rows, err := experiments.EpsilonSweep(g, d.K,
-		[]float64{0.05, 0.1, 0.2, 0.5, 1, 2}, *delta, *trials, *seed)
+	g := d.GenerateWorkers(*workers)
+	rows, err := experiments.EpsilonSweepWorkers(g, d.K,
+		[]float64{0.05, 0.1, 0.2, 0.5, 1, 2}, *delta, *trials, *seed, *workers)
 	if err != nil {
 		return err
 	}

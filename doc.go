@@ -25,4 +25,15 @@
 //
 // The experiment harness that regenerates the paper's Table 1 and
 // Figures 1–4 lives in cmd/dpkron and the repository-root benchmarks.
+//
+// # Parallelism
+//
+// The hot paths — sampling, feature counting, the sensitivity scan and
+// the estimators — shard across a bounded worker pool
+// (internal/parallel). Sharding is deterministic: for a fixed seed,
+// every result is bit-identical for every worker count, so seeded
+// experiments stay exactly reproducible while using all cores. Options
+// structs accept a Workers bound (<= 0 means runtime.GOMAXPROCS(0));
+// plain entry points default to all cores. See README.md for the
+// paper-to-code map and the engine's design rules.
 package dpkron

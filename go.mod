@@ -1,0 +1,3 @@
+module dpkron
+
+go 1.22

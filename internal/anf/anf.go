@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"dpkron/internal/graph"
+	"dpkron/internal/parallel"
 	"dpkron/internal/randx"
 )
 
@@ -25,6 +26,12 @@ type Options struct {
 	MaxHops int
 	// Rng supplies randomness; required.
 	Rng *randx.Rand
+	// Workers bounds the goroutines used for bitmask propagation and
+	// estimation; <= 0 selects runtime.GOMAXPROCS(0). The estimate is
+	// identical for every worker count: sketch initialization consumes
+	// the Rng serially, propagation writes disjoint node blocks, and
+	// the cardinality sum reduces fixed shards in order.
+	Workers int
 }
 
 func (o *Options) fill() {
@@ -50,6 +57,7 @@ func HopPlot(g *graph.Graph, opts Options) []float64 {
 		return nil
 	}
 	R := opts.Trials
+	workers := parallel.Workers(opts.Workers)
 	cur := make([]uint64, n*R)
 	next := make([]uint64, n*R)
 	for v := 0; v < n; v++ {
@@ -57,20 +65,24 @@ func HopPlot(g *graph.Graph, opts Options) []float64 {
 			cur[v*R+t] = 1 << geometricBit(opts.Rng)
 		}
 	}
-	est := []float64{estimateTotal(cur, n, R)}
+	est := []float64{estimateTotal(cur, n, R, workers)}
 	for h := 1; h <= opts.MaxHops; h++ {
-		copy(next, cur)
-		for v := 0; v < n; v++ {
-			row := next[v*R : v*R+R]
-			for _, w := range g.Neighbors(v) {
-				nb := cur[int(w)*R : int(w)*R+R]
-				for t := 0; t < R; t++ {
-					row[t] |= nb[t]
+		// Each round reads cur and writes disjoint node blocks of next,
+		// so the propagation shards freely across the pool.
+		parallel.ForBlocks(workers, n, func(_, lo, hi int) {
+			copy(next[lo*R:hi*R], cur[lo*R:hi*R])
+			for v := lo; v < hi; v++ {
+				row := next[v*R : v*R+R]
+				for _, w := range g.Neighbors(v) {
+					nb := cur[int(w)*R : int(w)*R+R]
+					for t := 0; t < R; t++ {
+						row[t] |= nb[t]
+					}
 				}
 			}
-		}
+		})
 		cur, next = next, cur
-		total := estimateTotal(cur, n, R)
+		total := estimateTotal(cur, n, R, workers)
 		est = append(est, total)
 		if total <= est[len(est)-2]*(1+1e-6) {
 			// Converged: drop the flat tail entry and stop.
@@ -90,17 +102,21 @@ func geometricBit(r *randx.Rand) int {
 	return i
 }
 
-// estimateTotal sums the per-node FM cardinality estimates.
-func estimateTotal(masks []uint64, n, R int) float64 {
-	var total float64
-	for v := 0; v < n; v++ {
-		var sum float64
-		for t := 0; t < R; t++ {
-			sum += float64(lowestZeroBit(masks[v*R+t]))
+// estimateTotal sums the per-node FM cardinality estimates with a
+// fixed-shard ordered reduction, so the floating-point total is
+// identical for every worker count.
+func estimateTotal(masks []uint64, n, R, workers int) float64 {
+	return parallel.SumFloat64(workers, n, func(lo, hi int) float64 {
+		var total float64
+		for v := lo; v < hi; v++ {
+			var sum float64
+			for t := 0; t < R; t++ {
+				sum += float64(lowestZeroBit(masks[v*R+t]))
+			}
+			total += math.Pow(2, sum/float64(R)) / phi
 		}
-		total += math.Pow(2, sum/float64(R)) / phi
-	}
-	return total
+		return total
+	})
 }
 
 // lowestZeroBit returns the index of the least significant zero bit.

@@ -1,0 +1,27 @@
+package anf
+
+import (
+	"testing"
+
+	"dpkron/internal/randx"
+)
+
+func TestHopPlotWorkerInvariant(t *testing.T) {
+	g := randomGraph(300, 0.03, 11)
+	base := HopPlot(g, Options{Trials: 32, Rng: randx.New(9), Workers: 1})
+	if len(base) < 2 {
+		t.Fatal("degenerate hop plot")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got := HopPlot(g, Options{Trials: 32, Rng: randx.New(9), Workers: workers})
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d: length %d != %d", workers, len(got), len(base))
+		}
+		for h := range got {
+			if got[h] != base[h] {
+				t.Fatalf("workers=%d: hop %d estimate %v != %v (must be bit-identical)",
+					workers, h, got[h], base[h])
+			}
+		}
+	}
+}

@@ -60,6 +60,11 @@ type Options struct {
 	KeepNonpositiveDelta bool
 	// Rng is required; all noise and optimizer randomness flows from it.
 	Rng *randx.Rand
+	// Workers bounds the goroutines used by the pipeline's parallel
+	// stages (feature counting, the smooth-sensitivity scan, and the
+	// moment optimizer); <= 0 selects runtime.GOMAXPROCS(0). The
+	// released estimate is identical for every worker count.
+	Workers int
 }
 
 // Result is the outcome of the private estimation.
@@ -124,7 +129,7 @@ func Estimate(g *graph.Graph, opts Options) (*Result, error) {
 	feats := stats.FeaturesFromDegrees(dtilde)
 
 	// Steps 4–5: private triangle count via smooth sensitivity.
-	tri := smoothsens.PrivateTriangles(g, half, opts.Delta, opts.Rng)
+	tri := smoothsens.PrivateTrianglesWorkers(g, half, opts.Delta, opts.Rng, opts.Workers)
 	acc.Spend("triangle count (smooth sensitivity)", dp.Budget{Eps: half, Delta: opts.Delta})
 	feats.Delta = tri.Noisy
 
@@ -143,6 +148,7 @@ func Estimate(g *graph.Graph, opts Options) (*Result, error) {
 		RandomStarts: opts.RandomStarts,
 		GridPoints:   opts.GridPoints,
 		Rng:          opts.Rng.Split(),
+		Workers:      opts.Workers,
 	})
 	if err != nil {
 		return nil, err

@@ -119,10 +119,14 @@ func Lookup(name string) (Dataset, error) {
 
 // Generate materializes the stand-in graph deterministically: exact
 // per-pair SKG sampling with the dataset's fixed seed, followed by the
-// triadic-closure pass when configured.
-func (d Dataset) Generate() *graph.Graph {
+// triadic-closure pass when configured. It runs on all cores.
+func (d Dataset) Generate() *graph.Graph { return d.GenerateWorkers(0) }
+
+// GenerateWorkers is Generate with an explicit worker bound for the
+// exact sampler; the graph is identical for every worker count.
+func (d Dataset) GenerateWorkers(workers int) *graph.Graph {
 	m := skg.Model{Init: d.Source, K: d.K}
-	g := m.SampleExact(randx.New(d.Seed))
+	g := m.SampleExactWorkers(randx.New(d.Seed), workers)
 	if d.ClosureEdges > 0 {
 		g = TriadicClosure(g, d.ClosureEdges, randx.New(d.Seed^0xabcdef))
 	}

@@ -11,6 +11,7 @@ import (
 	"dpkron/internal/kronfit"
 	"dpkron/internal/kronmom"
 	"dpkron/internal/linalg"
+	"dpkron/internal/parallel"
 	"dpkron/internal/randx"
 	"dpkron/internal/skg"
 	"dpkron/internal/stats"
@@ -52,6 +53,12 @@ type FigureOptions struct {
 	// ExactHopPlot forces all-source BFS instead of ANF sketches for
 	// single realizations (slower, exact).
 	ExactHopPlot bool
+	// Workers bounds the goroutines used across the figure: the
+	// expected-curve realizations run concurrently and every sampler,
+	// counter and estimator shards its own hot loops. <= 0 selects
+	// runtime.GOMAXPROCS(0); the figure is identical for every worker
+	// count.
+	Workers int
 }
 
 func (o *FigureOptions) fill() {
@@ -93,18 +100,18 @@ var EstimatorNames = []string{"KronFit", "KronMom", "Private"}
 func RunFigure(d Dataset, opts FigureOptions) (*FigureResult, error) {
 	opts.fill()
 	rng := randx.New(opts.Seed ^ d.Seed)
-	g := d.Generate()
+	g := d.GenerateWorkers(opts.Workers)
 
 	// Fit the three estimators.
-	kf, err := kronfit.Fit(g, kronfit.Options{K: d.K, Iters: opts.KronFitIters, Rng: rng.Split()})
+	kf, err := kronfit.Fit(g, kronfit.Options{K: d.K, Iters: opts.KronFitIters, Rng: rng.Split(), Workers: opts.Workers})
 	if err != nil {
 		return nil, fmt.Errorf("kronfit: %w", err)
 	}
-	km, err := kronmom.FitGraph(g, d.K, kronmom.Options{Rng: rng.Split()})
+	km, err := kronmom.FitGraph(g, d.K, kronmom.Options{Rng: rng.Split(), Workers: opts.Workers})
 	if err != nil {
 		return nil, fmt.Errorf("kronmom: %w", err)
 	}
-	pr, err := core.Estimate(g, core.Options{Eps: opts.Eps, Delta: opts.Delta, K: d.K, Rng: rng.Split()})
+	pr, err := core.Estimate(g, core.Options{Eps: opts.Eps, Delta: opts.Delta, K: d.K, Rng: rng.Split(), Workers: opts.Workers})
 	if err != nil {
 		return nil, fmt.Errorf("private: %w", err)
 	}
@@ -122,18 +129,33 @@ func RunFigure(d Dataset, opts FigureOptions) (*FigureResult, error) {
 	}
 	for _, name := range EstimatorNames {
 		m := skg.Model{Init: estimates[name], K: d.K}
-		synth := m.SampleBallDrop(rng.Split())
+		synth := m.SampleBallDropWorkers(rng.Split(), opts.Workers)
 		res.Single[name] = computeStats(synth, opts, rng.Split())
 	}
 	if opts.ExpectedRuns > 0 {
 		res.Expected = map[string]GraphStats{}
+		// The worker budget moves to the realization level here: the
+		// runs fan out across the pool while each run's sampler and
+		// statistics stay single-goroutine, so the total stays within
+		// opts.Workers instead of multiplying the two levels.
+		runOpts := opts
+		runOpts.Workers = 1
 		for _, name := range EstimatorNames {
 			m := skg.Model{Init: estimates[name], K: d.K}
-			var all []GraphStats
-			for run := 0; run < opts.ExpectedRuns; run++ {
-				synth := m.SampleBallDrop(rng.Split())
-				all = append(all, computeStats(synth, opts, rng.Split()))
+			// Every realization gets its pair of streams derived serially
+			// up front, then the runs execute concurrently; averageStats
+			// consumes them in run order, so the expected curves are
+			// identical for every worker count.
+			type runRngs struct{ sample, stats *randx.Rand }
+			rngs := make([]runRngs, opts.ExpectedRuns)
+			for run := range rngs {
+				rngs[run] = runRngs{sample: rng.Split(), stats: rng.Split()}
 			}
+			all := make([]GraphStats, opts.ExpectedRuns)
+			parallel.Run(parallel.Workers(opts.Workers), opts.ExpectedRuns, func(run int) {
+				synth := m.SampleBallDropWorkers(rngs[run].sample, 1)
+				all[run] = computeStats(synth, runOpts, rngs[run].stats)
+			})
 			res.Expected[name] = averageStats(all)
 		}
 	}
@@ -144,14 +166,14 @@ func RunFigure(d Dataset, opts FigureOptions) (*FigureResult, error) {
 func computeStats(g *graph.Graph, opts FigureOptions, rng *randx.Rand) GraphStats {
 	var hop Series
 	if opts.ExactHopPlot {
-		exact := stats.HopPlot(g)
+		exact := stats.HopPlotWorkers(g, opts.Workers)
 		hop = Series{Name: "hop plot"}
 		for h, v := range exact {
 			hop.X = append(hop.X, float64(h))
 			hop.Y = append(hop.Y, float64(v))
 		}
 	} else {
-		approx := anf.HopPlot(g, anf.Options{Trials: opts.ANFTrials, Rng: rng.Split()})
+		approx := anf.HopPlot(g, anf.Options{Trials: opts.ANFTrials, Rng: rng.Split(), Workers: opts.Workers})
 		hop = Series{Name: "hop plot"}
 		for h, v := range approx {
 			hop.X = append(hop.X, float64(h))

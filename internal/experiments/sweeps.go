@@ -8,6 +8,7 @@ import (
 	"dpkron/internal/core"
 	"dpkron/internal/graph"
 	"dpkron/internal/kronmom"
+	"dpkron/internal/parallel"
 	"dpkron/internal/randx"
 	"dpkron/internal/skg"
 	"dpkron/internal/smoothsens"
@@ -23,29 +24,57 @@ type SweepRow struct {
 	MeanFeatureErr float64 // mean relative L1 error of private features
 }
 
-// EpsilonSweep measures utility as a function of ε on the given graph.
+// EpsilonSweep measures utility as a function of ε on the given graph,
+// on all cores (EpsilonSweepWorkers with workers = 0).
 func EpsilonSweep(g *graph.Graph, k int, epsilons []float64, delta float64, trials int, seed uint64) ([]SweepRow, error) {
-	base, err := kronmom.FitGraph(g, k, kronmom.Options{Rng: randx.New(seed)})
+	return EpsilonSweepWorkers(g, k, epsilons, delta, trials, seed, 0)
+}
+
+// EpsilonSweepWorkers runs the sweep's (ε, trial) grid concurrently on
+// up to workers goroutines (<= 0 selects runtime.GOMAXPROCS(0)). Every
+// trial seeds its own generator from (seed, ε, trial) and the per-ε
+// averages reduce trials in index order, so the rows are identical for
+// every worker count.
+func EpsilonSweepWorkers(g *graph.Graph, k int, epsilons []float64, delta float64, trials int, seed uint64, workers int) ([]SweepRow, error) {
+	base, err := kronmom.FitGraph(g, k, kronmom.Options{Rng: randx.New(seed), Workers: workers})
 	if err != nil {
 		return nil, err
 	}
-	exact := stats.FeaturesOf(g)
+	exact := stats.FeaturesOfWorkers(g, workers)
+	type cell struct {
+		pd, fe float64
+		err    error
+	}
+	cells := make([]cell, len(epsilons)*trials)
+	// The grid almost always has at least as many cells as workers, so
+	// the budget goes to the cell level: each Estimate runs
+	// single-goroutine rather than multiplying the two fan-outs.
+	parallel.Run(parallel.Workers(workers), len(cells), func(i int) {
+		eps := epsilons[i/trials]
+		t := i % trials
+		res, err := core.Estimate(g, core.Options{
+			Eps: eps, Delta: delta, K: k, Workers: 1,
+			Rng: randx.New(seed + uint64(t)*7919 + uint64(math.Float64bits(eps))),
+		})
+		if err != nil {
+			cells[i].err = err
+			return
+		}
+		cells[i] = cell{pd: MaxAbsDiff(res.Init, base.Init), fe: relL1(res.Features, exact)}
+	})
 	var rows []SweepRow
-	for _, eps := range epsilons {
+	for e := range epsilons {
 		var pd, fe float64
 		for t := 0; t < trials; t++ {
-			res, err := core.Estimate(g, core.Options{
-				Eps: eps, Delta: delta, K: k,
-				Rng: randx.New(seed + uint64(t)*7919 + uint64(math.Float64bits(eps))),
-			})
-			if err != nil {
-				return nil, err
+			c := cells[e*trials+t]
+			if c.err != nil {
+				return nil, c.err
 			}
-			pd += MaxAbsDiff(res.Init, base.Init)
-			fe += relL1(res.Features, exact)
+			pd += c.pd
+			fe += c.fe
 		}
 		rows = append(rows, SweepRow{
-			Eps:            eps,
+			Eps:            epsilons[e],
 			MeanParamDiff:  pd / float64(trials),
 			MeanFeatureErr: fe / float64(trials),
 		})

@@ -8,6 +8,7 @@ import (
 	"dpkron/internal/graph"
 	"dpkron/internal/kronfit"
 	"dpkron/internal/kronmom"
+	"dpkron/internal/parallel"
 	"dpkron/internal/randx"
 	"dpkron/internal/skg"
 )
@@ -21,6 +22,11 @@ type Table1Options struct {
 	Seed  uint64  // default 7
 	// KronFitIters overrides the MLE iteration budget (default 60).
 	KronFitIters int
+	// Workers bounds the goroutines used across the table: the four
+	// dataset rows run concurrently and each row's estimators shard
+	// their own hot loops. <= 0 selects runtime.GOMAXPROCS(0); the
+	// rendered table is identical for every worker count.
+	Workers int
 }
 
 func (o *Table1Options) fill() {
@@ -52,16 +58,16 @@ func RunTable1Row(d Dataset, g *graph.Graph, opts Table1Options) (Table1Row, err
 	opts.fill()
 	rng := randx.New(opts.Seed ^ d.Seed)
 
-	kf, err := kronfit.Fit(g, kronfit.Options{K: d.K, Iters: opts.KronFitIters, Rng: rng.Split()})
+	kf, err := kronfit.Fit(g, kronfit.Options{K: d.K, Iters: opts.KronFitIters, Rng: rng.Split(), Workers: opts.Workers})
 	if err != nil {
 		return Table1Row{}, fmt.Errorf("kronfit on %s: %w", d.Name, err)
 	}
-	km, err := kronmom.FitGraph(g, d.K, kronmom.Options{Rng: rng.Split()})
+	km, err := kronmom.FitGraph(g, d.K, kronmom.Options{Rng: rng.Split(), Workers: opts.Workers})
 	if err != nil {
 		return Table1Row{}, fmt.Errorf("kronmom on %s: %w", d.Name, err)
 	}
 	pr, err := core.Estimate(g, core.Options{
-		Eps: opts.Eps, Delta: opts.Delta, K: d.K, Rng: rng.Split(),
+		Eps: opts.Eps, Delta: opts.Delta, K: d.K, Rng: rng.Split(), Workers: opts.Workers,
 	})
 	if err != nil {
 		return Table1Row{}, fmt.Errorf("private on %s: %w", d.Name, err)
@@ -78,14 +84,31 @@ func RunTable1Row(d Dataset, g *graph.Graph, opts Table1Options) (Table1Row, err
 
 // RunTable1 regenerates the full table over the dataset registry.
 func RunTable1(opts Table1Options) ([]Table1Row, error) {
-	var rows []Table1Row
-	for _, d := range Registry() {
-		g := d.Generate()
-		row, err := RunTable1Row(d, g, opts)
+	return RunTable1Datasets(Registry(), opts)
+}
+
+// RunTable1Datasets computes one table row per dataset. The rows are
+// independent (each derives its randomness from its dataset seed), so
+// they run concurrently with the worker budget divided between the
+// row fan-out and each row's internal sharding; results keep dataset
+// order and are identical for every worker count.
+func RunTable1Datasets(reg []Dataset, opts Table1Options) ([]Table1Row, error) {
+	w := parallel.Workers(opts.Workers)
+	rowOpts := opts
+	rowOpts.Workers = 1
+	if len(reg) > 0 && w/len(reg) > 1 {
+		rowOpts.Workers = w / len(reg)
+	}
+	rows := make([]Table1Row, len(reg))
+	errs := make([]error, len(reg))
+	parallel.Run(w, len(reg), func(i int) {
+		g := reg[i].GenerateWorkers(rowOpts.Workers)
+		rows[i], errs[i] = RunTable1Row(reg[i], g, rowOpts)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, row)
 	}
 	return rows, nil
 }

@@ -252,6 +252,17 @@ func (b *Builder) Build() *Graph {
 	return g
 }
 
+// Absorb appends every edge mention recorded in o into b, leaving o
+// unchanged. It is how per-shard builders produced by parallel samplers
+// are merged before a single Build; duplicates across shards are merged
+// by Build as usual. It panics if the node counts differ.
+func (b *Builder) Absorb(o *Builder) {
+	if o.n != b.n {
+		panic(fmt.Sprintf("graph: Absorb node count mismatch: %d != %d", o.n, b.n))
+	}
+	b.pairs = append(b.pairs, o.pairs...)
+}
+
 // FromEdges builds a graph on n nodes from an edge slice. Loops are
 // dropped and duplicates merged.
 func FromEdges(n int, edges [][2]int) *Graph {

@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"dpkron/internal/graph"
+	"dpkron/internal/parallel"
 	"dpkron/internal/randx"
 	"dpkron/internal/skg"
 )
@@ -62,6 +63,11 @@ type Options struct {
 	MinParam, MaxParam float64
 	// Rng is required.
 	Rng *randx.Rand
+	// Workers bounds the goroutines used for the per-edge likelihood and
+	// gradient sums (the Metropolis chain itself is sequential); <= 0
+	// selects runtime.GOMAXPROCS(0). The fixed-shard ordered reduction
+	// makes the fit identical for every worker count.
+	Workers int
 }
 
 func (o *Options) fill(n int) error {
@@ -116,19 +122,20 @@ type Result struct {
 // state carries the MCMC configuration: the graph embedded in 2^K
 // Kronecker slots via permutation sigma.
 type state struct {
-	g     *graph.Graph
-	k     int
-	n     int // 2^k slots; nodes >= g.NumNodes() are isolated padding
-	sigma []int
-	theta skg.Initiator
-	la    float64 // log A
-	lb    float64
-	lc    float64
+	g       *graph.Graph
+	k       int
+	n       int // 2^k slots; nodes >= g.NumNodes() are isolated padding
+	sigma   []int
+	theta   skg.Initiator
+	la      float64 // log A
+	lb      float64
+	lc      float64
+	workers int // resolved goroutine bound for ll/grad sums
 }
 
 func newState(g *graph.Graph, k int, init skg.Initiator, rng *randx.Rand) *state {
 	n := 1 << k
-	s := &state{g: g, k: k, n: n, sigma: make([]int, n)}
+	s := &state{g: g, k: k, n: n, sigma: make([]int, n), workers: 1}
 	s.setTheta(init)
 	// Initialize sigma greedily: high-degree graph nodes take Kronecker
 	// labels with few 1-bits (highest expected degree when a+b >= b+c,
@@ -242,33 +249,62 @@ func (s *state) emptyGrad() (ga, gb, gc float64) {
 }
 
 // ll returns the approximate log-likelihood at the current permutation.
+// The per-edge sum shards over node ranges with a fixed-shard ordered
+// reduction, so the float total is identical for every worker count.
 func (s *state) ll() float64 {
-	total := s.emptyLL()
-	s.g.ForEachEdge(func(i, j int) {
-		total += 2 * s.edgeTerm(s.sigma[i], s.sigma[j])
+	N := s.g.NumNodes()
+	edges := parallel.SumFloat64(s.workers, N, func(lo, hi int) float64 {
+		total := 0.0
+		for u := lo; u < hi; u++ {
+			su := s.sigma[u]
+			for _, w := range s.g.Neighbors(u) {
+				if int(w) > u {
+					total += 2 * s.edgeTerm(su, s.sigma[w])
+				}
+			}
+		}
+		return total
 	})
-	return total
+	return s.emptyLL() + edges
 }
 
-// grad returns the gradient of ll at the current permutation.
+// grad returns the gradient of ll at the current permutation, with the
+// per-edge sums sharded like ll.
 func (s *state) grad() (ga, gb, gc float64) {
 	ga, gb, gc = s.emptyGrad()
 	a, b, c := s.theta.A, s.theta.B, s.theta.C
-	s.g.ForEachEdge(func(i, j int) {
-		u, v := s.sigma[i], s.sigma[j]
-		na, nb, nc := s.quadrants(u, v)
-		logP := float64(na)*s.la + float64(nb)*s.lb + float64(nc)*s.lc
-		p := math.Exp(logP)
-		if p > 1-1e-12 {
-			p = 1 - 1e-12
+	N := s.g.NumNodes()
+	blocks := parallel.Blocks(N, parallel.DefaultShards)
+	parts := make([][3]float64, len(blocks))
+	parallel.Run(s.workers, len(blocks), func(sh int) {
+		var pa, pb, pc float64
+		for u := blocks[sh].Lo; u < blocks[sh].Hi; u++ {
+			su := s.sigma[u]
+			for _, w := range s.g.Neighbors(u) {
+				if int(w) <= u {
+					continue
+				}
+				na, nb, nc := s.quadrants(su, s.sigma[w])
+				logP := float64(na)*s.la + float64(nb)*s.lb + float64(nc)*s.lc
+				p := math.Exp(logP)
+				if p > 1-1e-12 {
+					p = 1 - 1e-12
+				}
+				inv := 1 / (1 - p)
+				// d/dθ [log P − log(1−P)] = (n_θ/θ) / (1−P), doubled for
+				// the two edge directions.
+				pa += 2 * float64(na) / a * inv
+				pb += 2 * float64(nb) / b * inv
+				pc += 2 * float64(nc) / c * inv
+			}
 		}
-		inv := 1 / (1 - p)
-		// d/dθ [log P − log(1−P)] = (n_θ/θ) / (1−P), doubled for the two
-		// edge directions.
-		ga += 2 * float64(na) / a * inv
-		gb += 2 * float64(nb) / b * inv
-		gc += 2 * float64(nc) / c * inv
+		parts[sh] = [3]float64{pa, pb, pc}
 	})
+	for _, p := range parts {
+		ga += p[0]
+		gb += p[1]
+		gc += p[2]
+	}
 	return ga, gb, gc
 }
 
@@ -324,6 +360,7 @@ func Fit(g *graph.Graph, opts Options) (Result, error) {
 	}
 	init := skg.Initiator{A: clamp(opts.Init.A), B: clamp(opts.Init.B), C: clamp(opts.Init.C)}
 	s := newState(g, opts.K, init, opts.Rng)
+	s.workers = parallel.Workers(opts.Workers)
 	seedPerm := append([]int(nil), s.sigma...)
 	for t := 0; t < opts.Iters; t++ {
 		if opts.resetPerm {
@@ -369,5 +406,6 @@ func LogLikelihood(g *graph.Graph, k int, init skg.Initiator, rng *randx.Rand) (
 		return 0, err
 	}
 	s := newState(g, opts.K, opts.Init, rng)
+	s.workers = parallel.Workers(opts.Workers)
 	return s.ll(), nil
 }

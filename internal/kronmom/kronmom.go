@@ -168,6 +168,11 @@ type Options struct {
 	MaxIter int
 	// Rng supplies restart randomness; required.
 	Rng *randx.Rand
+	// Workers bounds the goroutines used for the multistart descents and
+	// the feature counting in FitGraph; <= 0 selects
+	// runtime.GOMAXPROCS(0). The fitted initiator is identical for every
+	// worker count.
+	Workers int
 }
 
 func (o *Options) fill() error {
@@ -211,8 +216,8 @@ func Fit(obs stats.Features, k int, opts Options) (Estimate, error) {
 	}
 	lo := []float64{0, 0, 0}
 	hi := []float64{1, 1, 1}
-	res := optimize.MultiStart(f, lo, hi, opts.RandomStarts, opts.GridPoints, opts.Rng,
-		optimize.NelderMeadOptions{MaxIter: opts.MaxIter, Step: 0.08})
+	res := optimize.MultiStartWorkers(f, lo, hi, opts.RandomStarts, opts.GridPoints, opts.Rng,
+		optimize.NelderMeadOptions{MaxIter: opts.MaxIter, Step: 0.08}, opts.Workers)
 	init := skg.Initiator{A: res.X[0], B: res.X[1], C: res.X[2]}.Canonical()
 	return Estimate{Init: init, K: k, Objective: res.F, Evals: res.Evals}, nil
 }
@@ -224,7 +229,7 @@ func FitGraph(g *graph.Graph, k int, opts Options) (Estimate, error) {
 	if k <= 0 {
 		k = KForNodes(g.NumNodes())
 	}
-	return Fit(stats.FeaturesOf(g), k, opts)
+	return Fit(stats.FeaturesOfWorkers(g, opts.Workers), k, opts)
 }
 
 // KForNodes returns the smallest k with 2^k >= n (minimum 1).

@@ -9,6 +9,7 @@ import (
 	"math"
 	"sort"
 
+	"dpkron/internal/parallel"
 	"dpkron/internal/randx"
 )
 
@@ -221,8 +222,21 @@ func GridSearch(f Func, lo, hi []float64, pointsPerAxis int) Result {
 // MultiStart runs Nelder–Mead from the grid-search optimum and from
 // additional random starts inside the box, clamping every candidate into
 // the box via penalty-free projection inside the objective wrapper, and
-// returns the best result found.
+// returns the best result found. It is MultiStartWorkers on a single
+// goroutine.
 func MultiStart(f Func, lo, hi []float64, randomStarts, gridPoints int, rng *randx.Rand, nm NelderMeadOptions) Result {
+	return MultiStartWorkers(f, lo, hi, randomStarts, gridPoints, rng, nm, 1)
+}
+
+// MultiStartWorkers runs the grid-seeded Nelder–Mead descent and the
+// random restarts concurrently on up to workers goroutines (<= 0
+// selects runtime.GOMAXPROCS(0)). The restart points are drawn from rng
+// serially before any descent begins, the descents are deterministic,
+// and the winner is chosen by scanning results in start order with a
+// strict improvement rule — so the result is identical for every worker
+// count, including the serial MultiStart. f must be safe for concurrent
+// calls.
+func MultiStartWorkers(f Func, lo, hi []float64, randomStarts, gridPoints int, rng *randx.Rand, nm NelderMeadOptions, workers int) Result {
 	boxed := func(x []float64) float64 {
 		penalty := 0.0
 		y := make([]float64, len(x))
@@ -240,21 +254,30 @@ func MultiStart(f Func, lo, hi []float64, randomStarts, gridPoints int, rng *ran
 		return f(y)*(1+penalty) + penalty
 	}
 	seed := GridSearch(f, lo, hi, gridPoints)
-	best := NelderMead(boxed, seed.X, nm)
-	best.Evals += seed.Evals
-	for s := 0; s < randomStarts; s++ {
+	// Start points: the grid optimum first, then the random restarts,
+	// drawn serially so the points do not depend on scheduling.
+	starts := make([][]float64, 1+randomStarts)
+	starts[0] = seed.X
+	for s := 1; s < len(starts); s++ {
 		x0 := make([]float64, len(lo))
 		for i := range x0 {
 			x0[i] = lo[i] + rng.Float64()*(hi[i]-lo[i])
 		}
-		r := NelderMead(boxed, x0, nm)
+		starts[s] = x0
+	}
+	results := make([]Result, len(starts))
+	parallel.Run(parallel.Workers(workers), len(starts), func(s int) {
+		results[s] = NelderMead(boxed, starts[s], nm)
+	})
+	best := results[0]
+	evals := seed.Evals + results[0].Evals
+	for _, r := range results[1:] {
+		evals += r.Evals
 		if r.F < best.F {
-			r.Evals += best.Evals
 			best = r
-		} else {
-			best.Evals += r.Evals
 		}
 	}
+	best.Evals = evals
 	Clamp(best.X, lo, hi)
 	best.F = f(best.X)
 	return best

@@ -1,0 +1,84 @@
+package skg
+
+import (
+	"testing"
+
+	"dpkron/internal/randx"
+)
+
+// The parallel samplers must be deterministic in the seed and invariant
+// in the worker count: the sharded design attaches random streams to
+// fixed work units, so any number of goroutines reproduces the same
+// graph. These tests are the module's contract for that property and
+// are meant to run under -race.
+
+func TestSampleExactWorkerInvariant(t *testing.T) {
+	m := mustModel(t, 0.99, 0.45, 0.25, 10)
+	base := m.SampleExactWorkers(randx.New(42), 1)
+	if base.NumEdges() == 0 {
+		t.Fatal("degenerate sample")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		g := m.SampleExactWorkers(randx.New(42), workers)
+		if !g.Equal(base) {
+			t.Fatalf("workers=%d: sampled edge set differs from workers=1", workers)
+		}
+	}
+	// And the default entry point agrees too.
+	if !m.SampleExact(randx.New(42)).Equal(base) {
+		t.Fatal("SampleExact differs from SampleExactWorkers")
+	}
+}
+
+func TestSampleExactWorkerInvariantTinyAndAsymmetric(t *testing.T) {
+	// Edge cases: fewer rows than shards, and an asymmetric initiator.
+	for _, k := range []int{1, 2, 3, 7} {
+		m := mustModel(t, 0.9, 0.3, 0.6, k)
+		base := m.SampleExactWorkers(randx.New(9), 1)
+		for _, workers := range []int{4, 8} {
+			if !m.SampleExactWorkers(randx.New(9), workers).Equal(base) {
+				t.Fatalf("k=%d workers=%d: edge set differs", k, workers)
+			}
+		}
+	}
+}
+
+func TestSampleBallDropWorkerInvariant(t *testing.T) {
+	m := mustModel(t, 0.99, 0.55, 0.35, 11)
+	base := m.SampleBallDropWorkers(randx.New(7), 1)
+	for _, workers := range []int{2, 4, 8} {
+		g := m.SampleBallDropWorkers(randx.New(7), workers)
+		if !g.Equal(base) {
+			t.Fatalf("workers=%d: ball-drop edge set differs from workers=1", workers)
+		}
+	}
+	if !m.SampleBallDrop(randx.New(7)).Equal(base) {
+		t.Fatal("SampleBallDrop differs from SampleBallDropWorkers")
+	}
+}
+
+func TestSampleBallDropNWorkersHitsTarget(t *testing.T) {
+	m := mustModel(t, 0.99, 0.5, 0.2, 10)
+	for _, target := range []int{1, 10, 500, 2000} {
+		for _, workers := range []int{1, 4, 8} {
+			g := m.SampleBallDropNWorkers(randx.New(3), target, workers)
+			if g.NumEdges() != target {
+				t.Fatalf("target=%d workers=%d: placed %d edges", target, workers, g.NumEdges())
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestSampleWorkersDispatchInvariant(t *testing.T) {
+	// Below and above the K=13 exact/ball-drop dispatch threshold.
+	for _, k := range []int{12, 14} {
+		m := mustModel(t, 0.99, 0.45, 0.25, k)
+		base := m.SampleWorkers(randx.New(5), 1)
+		if !m.SampleWorkers(randx.New(5), 8).Equal(base) {
+			t.Fatalf("k=%d: SampleWorkers not worker-invariant", k)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"math/bits"
 
 	"dpkron/internal/graph"
+	"dpkron/internal/parallel"
 	"dpkron/internal/randx"
 	"dpkron/internal/stats"
 )
@@ -184,23 +185,45 @@ func (m Model) ExpectedFeatures() stats.Features {
 // SampleExact draws an undirected simple graph from the model by
 // flipping an independent coin for every node pair {u, v}, u > v, with
 // bias P_uv. It costs O(n²·K) time and is exact; prefer SampleBallDrop
-// beyond K ≈ 13.
+// beyond K ≈ 13. It runs on all cores (equivalent to
+// SampleExactWorkers with workers = 0).
 func (m Model) SampleExact(rng *randx.Rand) *graph.Graph {
+	return m.SampleExactWorkers(rng, 0)
+}
+
+// SampleExactWorkers is SampleExact sharded over row blocks of the
+// lower triangle on up to workers goroutines (<= 0 selects
+// runtime.GOMAXPROCS(0)). The pair loop is split into a fixed number of
+// pair-balanced row blocks, each driven by its own random stream
+// derived serially from rng, so for a given seed the sampled edge set
+// is identical for every worker count.
+func (m Model) SampleExactWorkers(rng *randx.Rand, workers int) *graph.Graph {
 	n := m.NumNodes()
 	tbl := m.powTables()
 	mask := 1<<m.K - 1
-	b := graph.NewBuilder(n)
-	for u := 1; u < n; u++ {
-		for v := 0; v < u; v++ {
-			nc := bits.OnesCount64(uint64(u & v))
-			na := m.K - bits.OnesCount64(uint64((u|v)&mask))
-			p := tbl.a[na] * tbl.b[m.K-na-nc] * tbl.c[nc]
-			if rng.Float64() < p {
-				b.AddEdge(u, v)
+	blocks := parallel.PairBlocks(n, parallel.DefaultShards)
+	rngs := parallel.Streams(rng, len(blocks))
+	parts := make([]*graph.Builder, len(blocks))
+	parallel.Run(parallel.Workers(workers), len(blocks), func(s int) {
+		r := rngs[s]
+		b := graph.NewBuilder(n)
+		for u := blocks[s].Lo; u < blocks[s].Hi; u++ {
+			for v := 0; v < u; v++ {
+				nc := bits.OnesCount64(uint64(u & v))
+				na := m.K - bits.OnesCount64(uint64((u|v)&mask))
+				p := tbl.a[na] * tbl.b[m.K-na-nc] * tbl.c[nc]
+				if r.Float64() < p {
+					b.AddEdge(u, v)
+				}
 			}
 		}
+		parts[s] = b
+	})
+	merged := graph.NewBuilder(n)
+	for _, p := range parts {
+		merged.Absorb(p)
 	}
-	return b.Build()
+	return merged.Build()
 }
 
 // SampleBallDrop draws an undirected simple graph with approximately the
@@ -212,12 +235,47 @@ func (m Model) SampleExact(rng *randx.Rand) *graph.Graph {
 // realized graph approximates the SKG distribution conditioned on its
 // edge count; the paper's experiments depend only on this regime.
 func (m Model) SampleBallDrop(rng *randx.Rand) *graph.Graph {
-	target := int(math.Round(m.ExpectedFeatures().E))
-	return m.SampleBallDropN(rng, target)
+	return m.SampleBallDropWorkers(rng, 0)
 }
 
 // SampleBallDropN is SampleBallDrop with an explicit target edge count.
+// It runs on all cores (equivalent to SampleBallDropNWorkers with
+// workers = 0).
 func (m Model) SampleBallDropN(rng *randx.Rand, target int) *graph.Graph {
+	return m.SampleBallDropNWorkers(rng, target, 0)
+}
+
+// dropPair performs one ball drop: a K-level descent choosing an
+// initiator quadrant per level with probability proportional to its
+// entry (pa and pb are the normalized A and B entries). It consumes
+// exactly K draws from r.
+func (m Model) dropPair(r *randx.Rand, pa, pb float64) (u, v int) {
+	for level := 0; level < m.K; level++ {
+		x, y := 1, 1
+		switch rv := r.Float64(); {
+		case rv < pa:
+			x, y = 0, 0
+		case rv < pa+pb:
+			x, y = 0, 1
+		case rv < pa+2*pb:
+			x, y = 1, 0
+		}
+		u = u<<1 | x
+		v = v<<1 | y
+	}
+	return u, v
+}
+
+// SampleBallDropNWorkers shards ball dropping over per-shard edge
+// quotas on up to workers goroutines (<= 0 selects
+// runtime.GOMAXPROCS(0)). The target is split across a fixed number of
+// shards, each dropping its quota with a private random stream and a
+// shard-local duplicate set; the shards' edges are then merged with a
+// global dedup pass, and a final serial top-up stream replaces the few
+// edges lost to cross-shard collisions. The shard count and every
+// stream derivation depend only on the model and target, so for a
+// given seed the sampled graph is identical for every worker count.
+func (m Model) SampleBallDropNWorkers(rng *randx.Rand, target, workers int) *graph.Graph {
 	n := m.NumNodes()
 	maxPairs := n * (n - 1) / 2
 	if target > maxPairs {
@@ -229,43 +287,76 @@ func (m Model) SampleBallDropN(rng *randx.Rand, target int) *graph.Graph {
 	}
 	pa := m.Init.A / sum
 	pb := m.Init.B / sum
-	seen := make(map[int64]struct{}, target*2)
+
+	shards := parallel.DefaultShards
+	if shards > target {
+		shards = target
+	}
+	rngs := parallel.Streams(rng, shards+1) // last stream is the top-up
+	quota := func(s int) int {
+		q := target / shards
+		if s < target%shards {
+			q++
+		}
+		return q
+	}
+	parts := make([][]int64, shards)
+	parallel.Run(parallel.Workers(workers), shards, func(s int) {
+		r := rngs[s]
+		q := quota(s)
+		local := make(map[int64]struct{}, 2*q)
+		keys := make([]int64, 0, q)
+		// Cap total attempts: dense targets on tiny graphs may need many
+		// re-drops; 200·quota + 1000 is far beyond what the sparse
+		// regimes of the paper require but keeps the routine total.
+		for attempts := 0; len(keys) < q && attempts < 200*q+1000; attempts++ {
+			u, v := m.dropPair(r, pa, pb)
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			key := int64(u)<<32 | int64(v)
+			if _, dup := local[key]; dup {
+				continue
+			}
+			local[key] = struct{}{}
+			keys = append(keys, key)
+		}
+		parts[s] = keys
+	})
+
+	// Merge in shard order with a global dedup, then top up the edges
+	// lost to cross-shard collisions from the dedicated final stream.
+	seen := make(map[int64]struct{}, 2*target)
 	b := graph.NewBuilder(n)
 	placed := 0
-	// Cap total attempts: dense targets on tiny graphs may need many
-	// re-drops; 200·target + 1000 is far beyond what the sparse regimes
-	// of the paper require but keeps the routine total.
-	for attempts := 0; placed < target && attempts < 200*target+1000; attempts++ {
-		u, v := 0, 0
-		for level := 0; level < m.K; level++ {
-			r := rng.Float64()
-			var x, y int
-			switch {
-			case r < pa:
-				x, y = 0, 0
-			case r < pa+pb:
-				x, y = 0, 1
-			case r < pa+2*pb:
-				x, y = 1, 0
-			default:
-				x, y = 1, 1
+	for _, keys := range parts {
+		for _, key := range keys {
+			if _, dup := seen[key]; dup {
+				continue
 			}
-			u = u<<1 | x
-			v = v<<1 | y
+			seen[key] = struct{}{}
+			b.AddEdge(int(key>>32), int(key&0xffffffff))
+			placed++
 		}
+	}
+	top := rngs[shards]
+	for attempts := 0; placed < target && attempts < 200*target+1000; attempts++ {
+		u, v := m.dropPair(top, pa, pb)
 		if u == v {
 			continue
 		}
-		lo, hi := u, v
-		if lo > hi {
-			lo, hi = hi, lo
+		if u > v {
+			u, v = v, u
 		}
-		key := int64(lo)<<32 | int64(hi)
+		key := int64(u)<<32 | int64(v)
 		if _, dup := seen[key]; dup {
 			continue
 		}
 		seen[key] = struct{}{}
-		b.AddEdge(lo, hi)
+		b.AddEdge(u, v)
 		placed++
 	}
 	return b.Build()
@@ -275,10 +366,23 @@ func (m Model) SampleBallDropN(rng *randx.Rand, target int) *graph.Graph {
 // dropping otherwise. This matches how the experiment harness treats
 // "original" graphs (exact) versus bulk synthetic realizations (fast).
 func (m Model) Sample(rng *randx.Rand) *graph.Graph {
+	return m.SampleWorkers(rng, 0)
+}
+
+// SampleWorkers is Sample with an explicit worker count (<= 0 selects
+// runtime.GOMAXPROCS(0)); the sampled graph is identical for every
+// worker count.
+func (m Model) SampleWorkers(rng *randx.Rand, workers int) *graph.Graph {
 	if m.K <= 13 {
-		return m.SampleExact(rng)
+		return m.SampleExactWorkers(rng, workers)
 	}
-	return m.SampleBallDrop(rng)
+	return m.SampleBallDropWorkers(rng, workers)
+}
+
+// SampleBallDropWorkers is SampleBallDrop with an explicit worker count.
+func (m Model) SampleBallDropWorkers(rng *randx.Rand, workers int) *graph.Graph {
+	target := int(math.Round(m.ExpectedFeatures().E))
+	return m.SampleBallDropNWorkers(rng, target, workers)
 }
 
 // KroneckerPower returns the dense k-th Kronecker power of a dense

@@ -20,41 +20,71 @@ import (
 	"math"
 
 	"dpkron/internal/graph"
+	"dpkron/internal/parallel"
 	"dpkron/internal/randx"
 	"dpkron/internal/stats"
 )
 
 // MaxCommonNeighbors returns max over node pairs u ≠ v of |N(u) ∩ N(v)|,
 // the local sensitivity of the triangle count. It runs in O(Σ_w d_w²)
-// time and O(n) memory by accumulating two-hop counts per source node.
-func MaxCommonNeighbors(g *graph.Graph) int {
+// time and O(n) memory per shard by accumulating two-hop counts per
+// source node, on all cores.
+func MaxCommonNeighbors(g *graph.Graph) int { return MaxCommonNeighborsWorkers(g, 0) }
+
+// MaxCommonNeighborsWorkers is MaxCommonNeighbors sharded over source
+// nodes on up to workers goroutines (<= 0 selects
+// runtime.GOMAXPROCS(0)). Each worker reuses one O(n) two-hop scratch
+// array across the shards it processes; the integer max-reduction is
+// identical for every worker count.
+func MaxCommonNeighborsWorkers(g *graph.Graph, workers int) int {
 	n := g.NumNodes()
 	if n < 2 {
 		return 0
 	}
-	count := make([]int32, n)
-	var touched []int32
-	best := 0
-	for u := 0; u < n; u++ {
-		touched = touched[:0]
-		for _, w := range g.Neighbors(u) {
-			for _, v := range g.Neighbors(int(w)) {
-				if int(v) == u {
-					continue
+	w := parallel.Workers(workers)
+	blocks := parallel.Blocks(n, parallel.DefaultShards)
+	if w > len(blocks) {
+		w = len(blocks)
+	}
+	type scratch struct {
+		count   []int32
+		touched []int32
+		best    int
+	}
+	parts := make([]scratch, w)
+	for i := range parts {
+		parts[i] = scratch{count: make([]int32, n)}
+	}
+	parallel.RunIndexed(w, len(blocks), func(worker, sh int) {
+		sc := &parts[worker]
+		count := sc.count
+		for u := blocks[sh].Lo; u < blocks[sh].Hi; u++ {
+			sc.touched = sc.touched[:0]
+			for _, w := range g.Neighbors(u) {
+				for _, v := range g.Neighbors(int(w)) {
+					if int(v) == u {
+						continue
+					}
+					if count[v] == 0 {
+						sc.touched = append(sc.touched, v)
+					}
+					count[v]++
 				}
-				if count[v] == 0 {
-					touched = append(touched, v)
+			}
+			for _, v := range sc.touched {
+				// Each unordered pair is seen from both sides; restricting
+				// to v > u halves the work without missing the max.
+				if int(v) > u && int(count[v]) > sc.best {
+					sc.best = int(count[v])
 				}
-				count[v]++
+				count[v] = 0
 			}
 		}
-		for _, v := range touched {
-			// Each unordered pair is seen from both sides; restricting to
-			// v > u halves the work without missing the max.
-			if int(v) > u && int(count[v]) > best {
-				best = int(count[v])
-			}
-			count[v] = 0
+	})
+	best := 0
+	for _, sc := range parts {
+		if sc.best > best {
+			best = sc.best
 		}
 	}
 	return best
@@ -78,7 +108,11 @@ func SensitivityAtDistance(g *graph.Graph, s int) float64 {
 
 // Smooth returns the β-smooth sensitivity of the triangle count at g.
 // β must be positive.
-func Smooth(g *graph.Graph, beta float64) float64 {
+func Smooth(g *graph.Graph, beta float64) float64 { return SmoothWorkers(g, beta, 0) }
+
+// SmoothWorkers is Smooth with an explicit worker bound for the local
+// sensitivity scan.
+func SmoothWorkers(g *graph.Graph, beta float64, workers int) float64 {
 	if beta <= 0 || math.IsNaN(beta) {
 		panic(fmt.Sprintf("smoothsens: beta must be positive, got %v", beta))
 	}
@@ -86,7 +120,7 @@ func Smooth(g *graph.Graph, beta float64) float64 {
 	if n < 3 {
 		return 0
 	}
-	return smoothFromLS(MaxCommonNeighbors(g), n, beta)
+	return smoothFromLS(MaxCommonNeighborsWorkers(g, workers), n, beta)
 }
 
 // smoothFromLS maximizes e^{−βs}·min(C+s, n−2) over integer s ≥ 0.
@@ -137,12 +171,19 @@ type Result struct {
 }
 
 // PrivateTriangles releases an (ε, δ)-differentially private triangle
-// count of g via the smooth-sensitivity Laplace mechanism.
+// count of g via the smooth-sensitivity Laplace mechanism, on all cores.
 func PrivateTriangles(g *graph.Graph, eps, delta float64, rng *randx.Rand) Result {
+	return PrivateTrianglesWorkers(g, eps, delta, rng, 0)
+}
+
+// PrivateTrianglesWorkers is PrivateTriangles with an explicit bound on
+// the goroutines used for the sensitivity scan and the exact count; the
+// released value is identical for every worker count.
+func PrivateTrianglesWorkers(g *graph.Graph, eps, delta float64, rng *randx.Rand, workers int) Result {
 	beta := BetaFor(eps, delta)
-	ss := Smooth(g, beta)
+	ss := SmoothWorkers(g, beta, workers)
 	scale := 2 * ss / eps
-	exact := stats.Triangles(g)
+	exact := stats.TrianglesWorkers(g, workers)
 	return Result{
 		Noisy:     float64(exact) + rng.Laplace(scale),
 		Exact:     exact,

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"testing"
+
+	"dpkron/internal/graph"
+	"dpkron/internal/randx"
+)
+
+// statGraph builds a moderately dense deterministic test graph with
+// hubs, so triangle and wedge work is unevenly distributed across the
+// vertex range (the case parallel sharding must get right).
+func statGraph(n int, seed uint64) *graph.Graph {
+	rng := randx.New(seed)
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		// Preferential-style wiring toward low ids.
+		for t := 0; t < 6; t++ {
+			v := rng.IntN(u + 1)
+			if v != u {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestFeatureCountsWorkerInvariant(t *testing.T) {
+	g := statGraph(2000, 3)
+	base := FeaturesOfWorkers(g, 1)
+	if base.Delta == 0 || base.H == 0 {
+		t.Fatal("degenerate test graph")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got := FeaturesOfWorkers(g, workers)
+		if got != base {
+			t.Fatalf("workers=%d: features %+v != %+v", workers, got, base)
+		}
+	}
+	if FeaturesOf(g) != base {
+		t.Fatal("FeaturesOf differs from FeaturesOfWorkers")
+	}
+}
+
+func TestTrianglesPerNodeWorkerInvariant(t *testing.T) {
+	g := statGraph(1200, 5)
+	base := TrianglesPerNodeWorkers(g, 1)
+	for _, workers := range []int{4, 8} {
+		got := TrianglesPerNodeWorkers(g, workers)
+		for v := range got {
+			if got[v] != base[v] {
+				t.Fatalf("workers=%d: node %d count %d != %d", workers, v, got[v], base[v])
+			}
+		}
+	}
+	// Cross-check: the per-node counts triple-count each triangle.
+	var sum int64
+	for _, c := range base {
+		sum += c
+	}
+	if sum != 3*Triangles(g) {
+		t.Fatalf("per-node sum %d != 3×%d", sum, Triangles(g))
+	}
+}
+
+func TestHopPlotWorkerInvariant(t *testing.T) {
+	g := statGraph(600, 7)
+	base := HopPlotWorkers(g, 1)
+	if len(base) < 2 {
+		t.Fatal("degenerate hop plot")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got := HopPlotWorkers(g, workers)
+		if len(got) != len(base) {
+			t.Fatalf("workers=%d: hop plot length %d != %d", workers, len(got), len(base))
+		}
+		for h := range got {
+			if got[h] != base[h] {
+				t.Fatalf("workers=%d: hop %d count %d != %d", workers, h, got[h], base[h])
+			}
+		}
+	}
+}
+
+func TestHopPlotWorkersEmptyGraph(t *testing.T) {
+	if got := HopPlotWorkers(graph.Empty(0), 8); len(got) != 0 {
+		t.Fatalf("empty graph hop plot = %v", got)
+	}
+	got := HopPlotWorkers(graph.Empty(4), 8)
+	if len(got) != 1 || got[0] != 4 {
+		t.Fatalf("isolated nodes hop plot = %v, want [4]", got)
+	}
+}

@@ -4,12 +4,20 @@
 // the experimental section (degree distribution, hop plot, scree plot
 // inputs, clustering coefficient by degree). All counters are exact;
 // see package anf for the sketch-based hop plot approximation.
+//
+// The feature counters and the exact hop plot are vertex-decomposable
+// (Gleich–Owen's observation that the matching moments are sums of
+// per-vertex terms), so each has a Workers variant that shards the
+// vertex range across the parallel worker pool; the plain entry points
+// run on all cores. Counts are integers, so the parallel reductions are
+// exact and identical for every worker count.
 package stats
 
 import (
 	"sort"
 
 	"dpkron/internal/graph"
+	"dpkron/internal/parallel"
 )
 
 // Features holds the four matching statistics of the observed graph in
@@ -23,13 +31,20 @@ type Features struct {
 	Delta float64 // number of triangles
 }
 
-// FeaturesOf computes the exact feature vector of g.
+// FeaturesOf computes the exact feature vector of g on all cores.
 func FeaturesOf(g *graph.Graph) Features {
+	return FeaturesOfWorkers(g, 0)
+}
+
+// FeaturesOfWorkers computes the exact feature vector of g on up to
+// workers goroutines (<= 0 selects runtime.GOMAXPROCS(0)). The result
+// is identical for every worker count.
+func FeaturesOfWorkers(g *graph.Graph, workers int) Features {
 	return Features{
 		E:     float64(g.NumEdges()),
-		H:     float64(Wedges(g)),
-		T:     float64(Tripins(g)),
-		Delta: float64(Triangles(g)),
+		H:     float64(WedgesWorkers(g, workers)),
+		T:     float64(TripinsWorkers(g, workers)),
+		Delta: float64(TrianglesWorkers(g, workers)),
 	}
 }
 
@@ -49,42 +64,58 @@ func FeaturesFromDegrees(d []float64) Features {
 
 // Wedges returns the number of hairpins (paths of length two, also
 // called 2-stars or wedges): Σ_v C(d_v, 2).
-func Wedges(g *graph.Graph) int64 {
-	var total int64
-	for v := 0; v < g.NumNodes(); v++ {
-		d := int64(g.Degree(v))
-		total += d * (d - 1) / 2
-	}
-	return total
+func Wedges(g *graph.Graph) int64 { return WedgesWorkers(g, 0) }
+
+// WedgesWorkers is Wedges sharded over vertex ranges.
+func WedgesWorkers(g *graph.Graph, workers int) int64 {
+	return parallel.SumInt64(parallel.Workers(workers), g.NumNodes(), func(lo, hi int) int64 {
+		var total int64
+		for v := lo; v < hi; v++ {
+			d := int64(g.Degree(v))
+			total += d * (d - 1) / 2
+		}
+		return total
+	})
 }
 
 // Tripins returns the number of 3-stars: Σ_v C(d_v, 3).
-func Tripins(g *graph.Graph) int64 {
-	var total int64
-	for v := 0; v < g.NumNodes(); v++ {
-		d := int64(g.Degree(v))
-		total += d * (d - 1) * (d - 2) / 6
-	}
-	return total
+func Tripins(g *graph.Graph) int64 { return TripinsWorkers(g, 0) }
+
+// TripinsWorkers is Tripins sharded over vertex ranges.
+func TripinsWorkers(g *graph.Graph, workers int) int64 {
+	return parallel.SumInt64(parallel.Workers(workers), g.NumNodes(), func(lo, hi int) int64 {
+		var total int64
+		for v := lo; v < hi; v++ {
+			d := int64(g.Degree(v))
+			total += d * (d - 1) * (d - 2) / 6
+		}
+		return total
+	})
 }
 
 // Triangles returns the exact number of triangles in g using the
 // forward algorithm over sorted adjacency lists: every triangle
 // u < v < w is counted once at its smallest vertex pair.
-func Triangles(g *graph.Graph) int64 {
-	var total int64
-	n := g.NumNodes()
-	for u := 0; u < n; u++ {
-		nu := g.Neighbors(u)
-		for i, v := range nu {
-			if int(v) <= u {
-				continue
+func Triangles(g *graph.Graph) int64 { return TrianglesWorkers(g, 0) }
+
+// TrianglesWorkers is Triangles sharded over vertex ranges: each shard
+// counts the triangles anchored at its smallest-vertex range, so shard
+// totals are disjoint and their sum is exact.
+func TrianglesWorkers(g *graph.Graph, workers int) int64 {
+	return parallel.SumInt64(parallel.Workers(workers), g.NumNodes(), func(lo, hi int) int64 {
+		var total int64
+		for u := lo; u < hi; u++ {
+			nu := g.Neighbors(u)
+			for i, v := range nu {
+				if int(v) <= u {
+					continue
+				}
+				// Count common neighbours w of u and v with w > v.
+				total += countCommonAbove(nu[i+1:], g.Neighbors(int(v)), v)
 			}
-			// Count common neighbours w of u and v with w > v.
-			total += countCommonAbove(nu[i+1:], g.Neighbors(int(v)), v)
 		}
-	}
-	return total
+		return total
+	})
 }
 
 // countCommonAbove counts elements present in both sorted lists a and b
@@ -112,21 +143,46 @@ func countCommonAbove(a, b []int32, lim int32) int64 {
 
 // TrianglesPerNode returns, for every node, the number of triangles it
 // participates in. Summing the result counts each triangle three times.
-func TrianglesPerNode(g *graph.Graph) []int64 {
+func TrianglesPerNode(g *graph.Graph) []int64 { return TrianglesPerNodeWorkers(g, 0) }
+
+// TrianglesPerNodeWorkers is TrianglesPerNode sharded over vertex
+// ranges. A triangle anchored in one shard credits nodes that may
+// belong to other shards, so each worker accumulates into a private
+// counter array (no atomics on the hot loop) and the arrays are summed
+// afterwards; integer addition commutes, so the result is identical
+// for every worker count.
+func TrianglesPerNodeWorkers(g *graph.Graph, workers int) []int64 {
 	n := g.NumNodes()
-	per := make([]int64, n)
-	for u := 0; u < n; u++ {
-		nu := g.Neighbors(u)
-		for i, v := range nu {
-			if int(v) <= u {
-				continue
+	w := parallel.Workers(workers)
+	blocks := parallel.Blocks(n, parallel.DefaultShards)
+	if w > len(blocks) {
+		w = len(blocks)
+	}
+	parts := make([][]int64, w)
+	for i := range parts {
+		parts[i] = make([]int64, n)
+	}
+	parallel.RunIndexed(w, len(blocks), func(worker, sh int) {
+		per := parts[worker]
+		for u := blocks[sh].Lo; u < blocks[sh].Hi; u++ {
+			nu := g.Neighbors(u)
+			for i, v := range nu {
+				if int(v) <= u {
+					continue
+				}
+				// For each common neighbour w > v of u and v, credit all three.
+				forEachCommonAbove(nu[i+1:], g.Neighbors(int(v)), v, func(w int32) {
+					per[u]++
+					per[v]++
+					per[w]++
+				})
 			}
-			// For each common neighbour w > v of u and v, credit all three.
-			forEachCommonAbove(nu[i+1:], g.Neighbors(int(v)), v, func(w int32) {
-				per[u]++
-				per[v]++
-				per[w]++
-			})
+		}
+	})
+	per := parts[0]
+	for _, p := range parts[1:] {
+		for v := range per {
+			per[v] += p[v]
 		}
 	}
 	return per
@@ -282,31 +338,60 @@ func ConnectedComponents(g *graph.Graph) (labels []int, sizes []int) {
 // at most h. The slice extends to the graph's effective diameter, i.e.
 // until the count stops growing. Computed by a BFS from every node in
 // O(n·(n+m)) time; use package anf for large graphs.
-func HopPlot(g *graph.Graph) []int64 {
+func HopPlot(g *graph.Graph) []int64 { return HopPlotWorkers(g, 0) }
+
+// HopPlotWorkers is HopPlot with the per-source BFS sweep sharded over
+// source-node blocks; each worker reuses private BFS scratch and
+// accumulates its own distance histogram, and the integer histograms
+// are summed afterwards, so the result is identical for every worker
+// count.
+func HopPlotWorkers(g *graph.Graph, workers int) []int64 {
 	n := g.NumNodes()
-	// pairsAt[h] = number of ordered pairs at distance exactly h.
-	var pairsAt []int64
-	dist := make([]int32, n)
-	queue := make([]int32, 0, n)
-	for s := 0; s < n; s++ {
-		for i := range dist {
-			dist[i] = -1
-		}
-		dist[s] = 0
-		queue = append(queue[:0], int32(s))
-		grow(&pairsAt, 0)
-		pairsAt[0]++
-		for head := 0; head < len(queue); head++ {
-			u := queue[head]
-			du := dist[u]
-			for _, w := range g.Neighbors(int(u)) {
-				if dist[w] < 0 {
-					dist[w] = du + 1
-					grow(&pairsAt, int(du+1))
-					pairsAt[du+1]++
-					queue = append(queue, w)
+	w := parallel.Workers(workers)
+	blocks := parallel.Blocks(n, parallel.DefaultShards)
+	if w > len(blocks) {
+		w = len(blocks)
+	}
+	type scratch struct {
+		pairsAt []int64 // pairsAt[h] = ordered pairs at distance exactly h
+		dist    []int32
+		queue   []int32
+	}
+	parts := make([]scratch, w)
+	for i := range parts {
+		parts[i] = scratch{dist: make([]int32, n), queue: make([]int32, 0, n)}
+	}
+	parallel.RunIndexed(w, len(blocks), func(worker, sh int) {
+		sc := &parts[worker]
+		dist, queue := sc.dist, sc.queue
+		for s := blocks[sh].Lo; s < blocks[sh].Hi; s++ {
+			for i := range dist {
+				dist[i] = -1
+			}
+			dist[s] = 0
+			queue = append(queue[:0], int32(s))
+			grow(&sc.pairsAt, 0)
+			sc.pairsAt[0]++
+			for head := 0; head < len(queue); head++ {
+				u := queue[head]
+				du := dist[u]
+				for _, w := range g.Neighbors(int(u)) {
+					if dist[w] < 0 {
+						dist[w] = du + 1
+						grow(&sc.pairsAt, int(du+1))
+						sc.pairsAt[du+1]++
+						queue = append(queue, w)
+					}
 				}
 			}
+		}
+		sc.queue = queue
+	})
+	var pairsAt []int64
+	for _, p := range parts {
+		grow(&pairsAt, len(p.pairsAt)-1)
+		for h, c := range p.pairsAt {
+			pairsAt[h] += c
 		}
 	}
 	// Cumulative sum.
