@@ -29,6 +29,7 @@ import (
 	"dpkron/internal/core"
 	"dpkron/internal/degseq"
 	"dpkron/internal/experiments"
+	"dpkron/internal/graph"
 	"dpkron/internal/kronfit"
 	"dpkron/internal/kronmom"
 	"dpkron/internal/randx"
@@ -210,6 +211,87 @@ func BenchmarkHopPlotANFWorkers(b *testing.B) {
 		b.Run(fmt.Sprintf("k=16/workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				anf.HopPlot(g, anf.Options{Trials: 16, Rng: randx.New(5), Workers: workers})
+			}
+		})
+	}
+}
+
+// --- Perf-trajectory benchmarks (scripts/bench.sh → BENCH_2.json) ---
+//
+// These three families track the hot paths optimized in PR 2
+// (table-driven KronFit kernels, radix-sort graph construction, map-free
+// ball dropping). scripts/bench.sh runs them and emits BENCH_2.json so
+// later PRs can compare against the recorded trajectory.
+
+// buildBenchBuilder returns a Builder pre-loaded with m random edge
+// mentions (duplicates included) on 2^17 nodes, so the benchmark loop
+// isolates Build (sort + dedupe + CSR fill).
+func buildBenchBuilder(m int) *graph.Builder {
+	n := 1 << 17
+	rng := randx.New(uint64(m))
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u := rng.IntN(n)
+		v := rng.IntN(n)
+		if u == v {
+			v = (v + 1) % n
+		}
+		b.AddEdge(u, v)
+	}
+	return b
+}
+
+func BenchmarkGraphBuild(b *testing.B) {
+	for _, m := range []int{100000, 1000000} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			builder := buildBenchBuilder(m)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g := builder.Build()
+				if g.NumNodes() != 1<<17 {
+					b.Fatal("bad build")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKronFitMetropolis times one full gradient iteration of
+// kronfit.Fit — dominated by the Metropolis warmup/sample swaps plus the
+// per-edge gradient sums — on a single worker so the ratio tracks the
+// arithmetic kernels rather than parallel speedup.
+func BenchmarkKronFitMetropolis(b *testing.B) {
+	for _, cfg := range []struct{ k, edges int }{{12, 1 << 15}, {14, 1 << 17}} {
+		g := featureGraph(b, cfg.k, cfg.edges)
+		b.Run(fmt.Sprintf("K=%d", cfg.k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, err := kronfit.Fit(g, kronfit.Options{
+					K: cfg.k, Iters: 1, Rng: randx.New(uint64(i) + 1), Workers: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBallDropN times SampleBallDropNWorkers at fixed targets —
+// drop generation plus duplicate elimination plus graph construction.
+func BenchmarkBallDropN(b *testing.B) {
+	for _, cfg := range []struct{ k, target int }{
+		{16, 1 << 19}, {18, 1 << 20}, {20, 1 << 21},
+	} {
+		m := skg.Model{Init: skg.Initiator{A: 0.99, B: 0.45, C: 0.25}, K: cfg.k}
+		b.Run(fmt.Sprintf("K=%d", cfg.k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := m.SampleBallDropNWorkers(randx.New(uint64(i)+1), cfg.target, 0)
+				if g.NumEdges() != cfg.target {
+					b.Fatalf("placed %d edges, want %d", g.NumEdges(), cfg.target)
+				}
 			}
 		})
 	}

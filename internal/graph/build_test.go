@@ -1,0 +1,189 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+
+	"dpkron/internal/randx"
+)
+
+// referenceBuild is the pre-radix Build algorithm (comparison sort +
+// dedupe + two-pass CSR fill), kept verbatim as the oracle for the
+// radix-sorted production path.
+func referenceBuild(n int, mentions [][2]int) *Graph {
+	pairs := make([]int64, 0, len(mentions))
+	for _, e := range mentions {
+		u, v := e[0], e[1]
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		pairs = append(pairs, int64(u)<<32|int64(v))
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i] < pairs[j] })
+	uniq := pairs[:0]
+	var prev int64 = -1
+	for _, p := range pairs {
+		if p != prev {
+			uniq = append(uniq, p)
+			prev = p
+		}
+	}
+	g := &Graph{off: make([]int32, n+1), adj: make([]int32, 2*len(uniq))}
+	for _, p := range uniq {
+		u, v := int32(p>>32), int32(p&0xffffffff)
+		g.off[u+1]++
+		g.off[v+1]++
+	}
+	for i := 1; i <= n; i++ {
+		g.off[i] += g.off[i-1]
+	}
+	cursor := make([]int32, n)
+	for _, p := range uniq {
+		u, v := p>>32, p&0xffffffff
+		g.adj[g.off[v]+cursor[v]] = int32(u)
+		cursor[v]++
+	}
+	for _, p := range uniq {
+		u, v := p>>32, p&0xffffffff
+		g.adj[g.off[u]+cursor[u]] = int32(v)
+		cursor[u]++
+	}
+	return g
+}
+
+// randomMultigraph draws m edge mentions (duplicates, loops, and skewed
+// endpoints included) on n nodes; clustering some endpoints low keeps
+// many rows empty, which exercises the empty-row paths.
+func randomMultigraph(rng *randx.Rand, n, m int) [][2]int {
+	out := make([][2]int, m)
+	for i := range out {
+		u := rng.IntN(n)
+		v := rng.IntN(n)
+		corner := n
+		if corner > 3 {
+			corner = 3
+		}
+		switch rng.IntN(4) {
+		case 0: // duplicate-prone corner of the id space
+			u, v = rng.IntN(corner), rng.IntN(corner)
+		case 1: // occasional self-loop (Builder must drop it)
+			v = u
+		}
+		out[i] = [2]int{u, v}
+	}
+	return out
+}
+
+// TestBuildMatchesReference asserts the radix-sorted Build is Equal to
+// the comparison-sorted reference on random multigraph inputs,
+// including duplicate mentions, self-loops, empty rows, and sizes on
+// both sides of the sorter's serial/parallel threshold.
+func TestBuildMatchesReference(t *testing.T) {
+	rng := randx.New(3)
+	cases := []struct{ n, m int }{
+		{1, 0}, {2, 1}, {5, 0}, {8, 50}, {100, 10}, {100, 3000},
+		{5000, 40000}, {1 << 15, 70000},
+	}
+	for _, c := range cases {
+		mentions := randomMultigraph(rng, c.n, c.m)
+		b := NewBuilder(c.n)
+		for _, e := range mentions {
+			b.AddEdge(e[0], e[1])
+		}
+		got := b.Build()
+		want := referenceBuild(c.n, mentions)
+		if !got.Equal(want) {
+			t.Fatalf("n=%d m=%d: radix Build differs from reference", c.n, c.m)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("n=%d m=%d: %v", c.n, c.m, err)
+		}
+		// Rebuild with the retained mentions plus a few more: the reused
+		// sort buffers must not leak state between Build calls.
+		extra := randomMultigraph(rng, c.n, 37)
+		for _, e := range extra {
+			b.AddEdge(e[0], e[1])
+		}
+		got2 := b.Build()
+		want2 := referenceBuild(c.n, append(mentions, extra...))
+		if !got2.Equal(want2) {
+			t.Fatalf("n=%d m=%d: rebuilt graph differs from reference", c.n, c.m)
+		}
+	}
+}
+
+func TestNewBuilderCapAndPackedEdges(t *testing.T) {
+	b := NewBuilderCap(10, 64)
+	if cap(b.pairs) < 64 {
+		t.Fatalf("pairs capacity %d, want >= 64", cap(b.pairs))
+	}
+	keys := []int64{0<<32 | 3, 1<<32 | 2, 4<<32 | 9}
+	b.AddPackedEdges(keys)
+	b.AddEdge(3, 0) // duplicate via the scalar path
+	g := b.Build()
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	for _, e := range [][2]int{{0, 3}, {1, 2}, {4, 9}} {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Fatalf("missing edge %v", e)
+		}
+	}
+}
+
+func TestAddPackedEdgesPanics(t *testing.T) {
+	bad := [][]int64{
+		{5<<32 | 5},  // loop
+		{7<<32 | 2},  // unordered
+		{1<<32 | 10}, // out of range
+	}
+	for i, keys := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: no panic", i)
+				}
+			}()
+			NewBuilder(10).AddPackedEdges(keys)
+		}()
+	}
+}
+
+// TestWithEdgeToggledMatchesRebuild asserts the O(m) CSR splice agrees
+// with a full rebuild for random toggles on random graphs.
+func TestWithEdgeToggledMatchesRebuild(t *testing.T) {
+	rng := randx.New(11)
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.IntN(60)
+		g := Gnp(n, 0.15, rng)
+		for toggle := 0; toggle < 10; toggle++ {
+			u := rng.IntN(n)
+			v := rng.IntN(n)
+			if u == v {
+				continue
+			}
+			got := g.WithEdgeToggled(u, v)
+			ref := NewBuilder(n)
+			g.ForEachEdge(func(a, c int) {
+				if (a == u && c == v) || (a == v && c == u) {
+					return
+				}
+				ref.AddEdge(a, c)
+			})
+			if !g.HasEdge(u, v) {
+				ref.AddEdge(u, v)
+			}
+			want := ref.Build()
+			if !got.Equal(want) {
+				t.Fatalf("trial %d: toggled (%d,%d) differs from rebuild", trial, u, v)
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			g = got // walk a random toggle chain
+		}
+	}
+}

@@ -11,7 +11,10 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+
+	"dpkron/internal/parallel"
 )
 
 // Graph is an immutable undirected simple graph (no self-loops, no
@@ -107,18 +110,52 @@ func (g *Graph) WithEdgeToggled(u, v int) *Graph {
 	if u == v || u < 0 || v < 0 || u >= n || v >= n {
 		panic(fmt.Sprintf("graph: invalid edge toggle (%d, %d) on %d nodes", u, v, n))
 	}
-	b := NewBuilder(n)
+	// Splice the CSR arrays directly in O(n + m): only the rows of u and
+	// v change, each by exactly one sorted neighbour. The smooth
+	// sensitivity scan and the DP tests call this in tight loops, where
+	// rebuilding through a Builder (sort + dedupe) was the dominant cost.
 	had := g.HasEdge(u, v)
-	g.ForEachEdge(func(a, c int) {
-		if had && ((a == u && c == v) || (a == v && c == u)) {
-			return
-		}
-		b.AddEdge(a, c)
-	})
-	if !had {
-		b.AddEdge(u, v)
+	delta := 1
+	if had {
+		delta = -1
 	}
-	return b.Build()
+	h := &Graph{
+		off: make([]int32, n+1),
+		adj: make([]int32, len(g.adj)+2*delta),
+	}
+	pos := int32(0)
+	for w := 0; w < n; w++ {
+		h.off[w] = pos
+		nb := g.Neighbors(w)
+		switch w {
+		case u:
+			pos = spliceRow(h.adj, pos, nb, int32(v), had)
+		case v:
+			pos = spliceRow(h.adj, pos, nb, int32(u), had)
+		default:
+			copy(h.adj[pos:], nb)
+			pos += int32(len(nb))
+		}
+	}
+	h.off[n] = pos
+	return h
+}
+
+// spliceRow copies the sorted row nb into dst at pos with the neighbour
+// t removed (remove = true) or inserted at its sorted position, and
+// returns the new cursor.
+func spliceRow(dst []int32, pos int32, nb []int32, t int32, remove bool) int32 {
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= t })
+	copy(dst[pos:], nb[:i])
+	pos += int32(i)
+	if remove {
+		i++ // nb[i] == t: skip it
+	} else {
+		dst[pos] = t
+		pos++
+	}
+	copy(dst[pos:], nb[i:])
+	return pos + int32(len(nb)-i)
 }
 
 // Equal reports whether two graphs have identical node and edge sets.
@@ -176,6 +213,10 @@ func (g *Graph) Validate() error {
 type Builder struct {
 	n     int
 	pairs []int64 // packed (min<<32 | max) per undirected edge mention
+	// buf and scratch are reusable sort buffers so repeated Build calls
+	// (the experiment sweeps build thousands of sampled graphs) stop
+	// re-allocating; they hold no state between calls.
+	buf, scratch []int64
 }
 
 // NewBuilder returns a Builder for a graph on n nodes. It panics if n < 0
@@ -185,6 +226,17 @@ func NewBuilder(n int) *Builder {
 		panic(fmt.Sprintf("graph: invalid node count %d", n))
 	}
 	return &Builder{n: n}
+}
+
+// NewBuilderCap is NewBuilder with the edge-mention slice pre-sized to
+// edgeHint, avoiding append-regrowth churn when the caller knows the
+// sample size in advance (samplers, FromEdges, file loaders).
+func NewBuilderCap(n, edgeHint int) *Builder {
+	b := NewBuilder(n)
+	if edgeHint > 0 {
+		b.pairs = make([]int64, 0, edgeHint)
+	}
+	return b
 }
 
 // AddEdge records the undirected edge {u, v}. Loops are ignored.
@@ -202,15 +254,50 @@ func (b *Builder) AddEdge(u, v int) {
 	b.pairs = append(b.pairs, int64(u)<<32|int64(v))
 }
 
+// AddPackedEdges records edge mentions already packed in the Builder's
+// key format, int64(u)<<32|int64(v) with u < v. It is the bulk path the
+// samplers use once they hold deduplicated key slices. It panics if any
+// key is malformed or out of range.
+func (b *Builder) AddPackedEdges(keys []int64) {
+	for _, key := range keys {
+		u, v := int(key>>32), int(key&0xffffffff)
+		if u < 0 || u >= v || v >= b.n {
+			panic(fmt.Sprintf("graph: packed edge (%d, %d) invalid on %d nodes", u, v, b.n))
+		}
+	}
+	b.pairs = append(b.pairs, keys...)
+}
+
 // NumPending returns the number of edge mentions recorded so far
 // (duplicates included).
 func (b *Builder) NumPending() int { return len(b.pairs) }
 
-// Build produces the Graph. The Builder may be reused afterwards; its
-// accumulated edges are retained.
-func (b *Builder) Build() *Graph {
-	pairs := append([]int64(nil), b.pairs...)
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i] < pairs[j] })
+// Build produces the Graph on the calling goroutine; it is
+// BuildWorkers(1). The Builder may be reused afterwards; its
+// accumulated edges are retained, and the sort buffers are kept so
+// repeated Build calls allocate only the returned CSR arrays.
+func (b *Builder) Build() *Graph { return b.BuildWorkers(1) }
+
+// BuildWorkers is Build with the sort sharded over up to workers
+// goroutines (<= 0 selects runtime.GOMAXPROCS(0)); the samplers pass
+// their Workers option through so nested parallelism stays under the
+// caller's control. The resulting graph is identical for every worker
+// count.
+//
+// The edge mentions are ordered with an LSD radix sort on the packed
+// int64 pair keys (parallel.SortInt64) instead of a comparison sort —
+// already-sorted input, which the bulk sampler path produces, is
+// detected and skipped — and the resulting graph is identical to what a
+// comparison-sorted Build produced.
+func (b *Builder) BuildWorkers(workers int) *Graph {
+	if cap(b.buf) < len(b.pairs) {
+		b.buf = make([]int64, len(b.pairs))
+	}
+	pairs := b.buf[:len(b.pairs)]
+	copy(pairs, b.pairs)
+	if !slices.IsSorted(pairs) {
+		b.scratch = parallel.SortInt64(workers, pairs, b.scratch)
+	}
 	// Dedupe.
 	uniq := pairs[:0]
 	var prev int64 = -1
@@ -266,7 +353,7 @@ func (b *Builder) Absorb(o *Builder) {
 // FromEdges builds a graph on n nodes from an edge slice. Loops are
 // dropped and duplicates merged.
 func FromEdges(n int, edges [][2]int) *Graph {
-	b := NewBuilder(n)
+	b := NewBuilderCap(n, len(edges))
 	for _, e := range edges {
 		b.AddEdge(e[0], e[1])
 	}
@@ -275,7 +362,7 @@ func FromEdges(n int, edges [][2]int) *Graph {
 
 // Complete returns the complete graph K_n.
 func Complete(n int) *Graph {
-	b := NewBuilder(n)
+	b := NewBuilderCap(n, n*(n-1)/2)
 	for u := 0; u < n; u++ {
 		for v := u + 1; v < n; v++ {
 			b.AddEdge(u, v)

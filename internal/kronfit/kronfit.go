@@ -13,6 +13,12 @@
 // all pairs is permutation invariant and evaluated in closed form with a
 // second-order Taylor expansion (log(1−p) ≈ −p − p²/2); the diagonal is
 // handled exactly, and per-edge terms use exact logarithms.
+//
+// Because the 2×2 initiator admits only (K+1)(K+2)/2 distinct per-pair
+// probabilities, the per-edge likelihood and gradient kernels are
+// tabulated per (na, nc) quadrant-count pair on every parameter update
+// (see state.setTheta), leaving no transcendental calls in the
+// Metropolis, likelihood, or gradient inner loops.
 package kronfit
 
 import (
@@ -121,6 +127,15 @@ type Result struct {
 
 // state carries the MCMC configuration: the graph embedded in 2^K
 // Kronecker slots via permutation sigma.
+//
+// With a 2×2 initiator there are only (K+1)(K+2)/2 distinct per-pair
+// probabilities — one per quadrant-count pair (na, nc) — so every
+// per-edge transcendental (math.Exp, math.Log1p and the gradient
+// divisions) is precomputed into flat tables on setTheta, and the
+// Metropolis/likelihood/gradient inner loops reduce to two popcounts
+// and an array read per edge. The tables are filled with exactly the
+// expressions the direct formulas used, so every sum and every
+// Metropolis accept decision is bit-identical to the untabulated code.
 type state struct {
 	g       *graph.Graph
 	k       int
@@ -131,11 +146,17 @@ type state struct {
 	lb      float64
 	lc      float64
 	workers int // resolved goroutine bound for ll/grad sums
+	// Lookup tables indexed by na*(k+1)+nc (entries with na+nc > k are
+	// unused); refreshed by setTheta.
+	edgeTab []float64 // log P − log(1−P)
+	gradTab []float64 // the three per-edge gradient coefficients, interleaved
 }
 
 func newState(g *graph.Graph, k int, init skg.Initiator, rng *randx.Rand) *state {
 	n := 1 << k
 	s := &state{g: g, k: k, n: n, sigma: make([]int, n), workers: 1}
+	s.edgeTab = make([]float64, (k+1)*(k+1))
+	s.gradTab = make([]float64, 3*(k+1)*(k+1))
 	s.setTheta(init)
 	// Initialize sigma greedily: high-degree graph nodes take Kronecker
 	// labels with few 1-bits (highest expected degree when a+b >= b+c,
@@ -174,6 +195,35 @@ func (s *state) setTheta(t skg.Initiator) {
 	s.la = math.Log(t.A)
 	s.lb = math.Log(t.B)
 	s.lc = math.Log(t.C)
+	// Refresh the per-(na, nc) kernels. The expressions mirror the
+	// direct per-edge formulas term for term (see edgeTerm and grad), so
+	// the tabulated values are the exact floats the direct code produced.
+	a, b, c := t.A, t.B, t.C
+	for na := 0; na <= s.k; na++ {
+		for nc := 0; na+nc <= s.k; nc++ {
+			nb := s.k - na - nc
+			logP := float64(na)*s.la + float64(nb)*s.lb + float64(nc)*s.lc
+			p := math.Exp(logP)
+			if p > 1-1e-12 {
+				p = 1 - 1e-12
+			}
+			idx := na*(s.k+1) + nc
+			s.edgeTab[idx] = logP - math.Log1p(-p)
+			inv := 1 / (1 - p)
+			s.gradTab[3*idx] = 2 * float64(na) / a * inv
+			s.gradTab[3*idx+1] = 2 * float64(nb) / b * inv
+			s.gradTab[3*idx+2] = 2 * float64(nc) / c * inv
+		}
+	}
+}
+
+// pairIndex returns the table index for Kronecker labels u, v: with
+// nc = popcount(u&v) ones-quadrants and na = k − popcount(u|v)
+// zero-quadrants, the index is na*(k+1)+nc.
+func (s *state) pairIndex(u, v int) int {
+	nc := bits.OnesCount64(uint64(u & v))
+	na := s.k - bits.OnesCount64(uint64(u|v))
+	return na*(s.k+1) + nc
 }
 
 // quadrants returns the initiator cell counts for Kronecker labels u, v.
@@ -184,8 +234,15 @@ func (s *state) quadrants(u, v int) (na, nb, nc int) {
 	return
 }
 
-// edgeTerm returns log P_uv − log(1 − P_uv) for Kronecker labels u, v.
+// edgeTerm returns log P_uv − log(1 − P_uv) for Kronecker labels u, v,
+// by table lookup.
 func (s *state) edgeTerm(u, v int) float64 {
+	return s.edgeTab[s.pairIndex(u, v)]
+}
+
+// edgeTermDirect is the untabulated formula edgeTerm's table is filled
+// from; it exists as the reference for the table-consistency tests.
+func (s *state) edgeTermDirect(u, v int) float64 {
 	na, nb, nc := s.quadrants(u, v)
 	logP := float64(na)*s.la + float64(nb)*s.lb + float64(nc)*s.lc
 	p := math.Exp(logP)
@@ -272,7 +329,6 @@ func (s *state) ll() float64 {
 // per-edge sums sharded like ll.
 func (s *state) grad() (ga, gb, gc float64) {
 	ga, gb, gc = s.emptyGrad()
-	a, b, c := s.theta.A, s.theta.B, s.theta.C
 	N := s.g.NumNodes()
 	blocks := parallel.Blocks(N, parallel.DefaultShards)
 	parts := make([][3]float64, len(blocks))
@@ -284,18 +340,12 @@ func (s *state) grad() (ga, gb, gc float64) {
 				if int(w) <= u {
 					continue
 				}
-				na, nb, nc := s.quadrants(su, s.sigma[w])
-				logP := float64(na)*s.la + float64(nb)*s.lb + float64(nc)*s.lc
-				p := math.Exp(logP)
-				if p > 1-1e-12 {
-					p = 1 - 1e-12
-				}
-				inv := 1 / (1 - p)
 				// d/dθ [log P − log(1−P)] = (n_θ/θ) / (1−P), doubled for
-				// the two edge directions.
-				pa += 2 * float64(na) / a * inv
-				pb += 2 * float64(nb) / b * inv
-				pc += 2 * float64(nc) / c * inv
+				// the two edge directions; tabulated per (na, nc).
+				t := s.gradTab[3*s.pairIndex(su, s.sigma[w]):]
+				pa += t[0]
+				pb += t[1]
+				pc += t[2]
 			}
 		}
 		parts[sh] = [3]float64{pa, pb, pc}

@@ -1,0 +1,136 @@
+package skg
+
+import (
+	"testing"
+
+	"dpkron/internal/graph"
+	"dpkron/internal/parallel"
+	"dpkron/internal/randx"
+)
+
+// sampleBallDropNRef is the historical map-based ball dropper, kept
+// verbatim as the oracle for the documented contract that the map-free
+// sort-and-dedup rewrite (dropUnique) consumes the per-shard random
+// streams identically — same drops, same rejections, same top-up — and
+// therefore produces bit-identical graphs for every seed.
+func (m Model) sampleBallDropNRef(rng *randx.Rand, target, workers int) *graph.Graph {
+	n := m.NumNodes()
+	maxPairs := n * (n - 1) / 2
+	if target > maxPairs {
+		target = maxPairs
+	}
+	sum := m.Init.EdgeSum()
+	if sum == 0 || target <= 0 {
+		return graph.Empty(n)
+	}
+	pa := m.Init.A / sum
+	pb := m.Init.B / sum
+
+	shards := parallel.DefaultShards
+	if shards > target {
+		shards = target
+	}
+	rngs := parallel.Streams(rng, shards+1)
+	quota := func(s int) int {
+		q := target / shards
+		if s < target%shards {
+			q++
+		}
+		return q
+	}
+	parts := make([][]int64, shards)
+	parallel.Run(parallel.Workers(workers), shards, func(s int) {
+		r := rngs[s]
+		q := quota(s)
+		local := make(map[int64]struct{}, 2*q)
+		keys := make([]int64, 0, q)
+		for attempts := 0; len(keys) < q && attempts < 200*q+1000; attempts++ {
+			u, v := m.dropPair(r, pa, pb)
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			key := int64(u)<<32 | int64(v)
+			if _, dup := local[key]; dup {
+				continue
+			}
+			local[key] = struct{}{}
+			keys = append(keys, key)
+		}
+		parts[s] = keys
+	})
+
+	seen := make(map[int64]struct{}, 2*target)
+	b := graph.NewBuilder(n)
+	placed := 0
+	for _, keys := range parts {
+		for _, key := range keys {
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			b.AddEdge(int(key>>32), int(key&0xffffffff))
+			placed++
+		}
+	}
+	top := rngs[shards]
+	for attempts := 0; placed < target && attempts < 200*target+1000; attempts++ {
+		u, v := m.dropPair(top, pa, pb)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := int64(u)<<32 | int64(v)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		b.AddEdge(u, v)
+		placed++
+	}
+	return b.Build()
+}
+
+// TestSampleBallDropMatchesMapReference pins the map-free rewrite to
+// the historical map-based generator across sparse, dense,
+// target-saturating, and degenerate regimes, several seeds, and worker
+// counts. The subtle property under test is RNG-consumption
+// equivalence: a duplicate inside one of dropUnique's rounds must
+// merely end the round early (the next round's membership filter
+// rejects it), so acceptance lands on exactly the drops the one-lookup-
+// per-attempt reference accepted.
+func TestSampleBallDropMatchesMapReference(t *testing.T) {
+	type tc struct {
+		init    Initiator
+		k       int
+		targets []int
+	}
+	cases := []tc{
+		// Sparse paper-like regime.
+		{Initiator{A: 0.99, B: 0.45, C: 0.25}, 11, []int{1, 63, 64, 65, 2000, 8000}},
+		// Dense small graphs: heavy re-drop and cap pressure.
+		{Initiator{A: 0.9, B: 0.7, C: 0.6}, 3, []int{5, 14, 28, 100}},
+		{Initiator{A: 0.9, B: 0.7, C: 0.6}, 5, []int{200, 496, 1000}},
+		// Skewed initiator: many self-loop rejections.
+		{Initiator{A: 1, B: 0.05, C: 0.9}, 6, []int{100, 500}},
+	}
+	for _, c := range cases {
+		m := mustModel(t, c.init.A, c.init.B, c.init.C, c.k)
+		for _, target := range c.targets {
+			for seed := uint64(1); seed <= 3; seed++ {
+				want := m.sampleBallDropNRef(randx.New(seed), target, 1)
+				for _, workers := range []int{1, 4} {
+					got := m.SampleBallDropNWorkers(randx.New(seed), target, workers)
+					if !got.Equal(want) {
+						t.Fatalf("init=%v k=%d target=%d seed=%d workers=%d: graph differs from map-based reference",
+							c.init, c.k, target, seed, workers)
+					}
+				}
+			}
+		}
+	}
+}

@@ -150,7 +150,7 @@ func (m GeneralModel) ProbMatrix() [][]float64 {
 // coins, O(n²·K).
 func (m GeneralModel) SampleExact(rng *randx.Rand) *graph.Graph {
 	n := m.NumNodes()
-	b := graph.NewBuilder(n)
+	b := graph.NewBuilderCap(n, int(m.ExpectedFeatures().E*1.2)+16)
 	for u := 1; u < n; u++ {
 		for v := 0; v < u; v++ {
 			if rng.Float64() < m.EdgeProb(u, v) {
@@ -189,7 +189,7 @@ func (m GeneralModel) SampleBallDrop(rng *randx.Rand) *graph.Graph {
 		}
 	}
 	seen := make(map[int64]struct{}, 2*target)
-	b := graph.NewBuilder(n)
+	b := graph.NewBuilderCap(n, target)
 	placed := 0
 	for attempts := 0; placed < target && attempts < 200*target+1000; attempts++ {
 		u, v := 0, 0

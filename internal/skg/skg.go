@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"slices"
 
 	"dpkron/internal/graph"
 	"dpkron/internal/parallel"
@@ -204,9 +205,14 @@ func (m Model) SampleExactWorkers(rng *randx.Rand, workers int) *graph.Graph {
 	blocks := parallel.PairBlocks(n, parallel.DefaultShards)
 	rngs := parallel.Streams(rng, len(blocks))
 	parts := make([]*graph.Builder, len(blocks))
+	// Pre-size each shard's pair slice to its expected edge yield (plus
+	// slack) so the inner loop appends without regrowth.
+	density := 2 * m.ExpectedFeatures().E / (float64(n) * float64(n-1))
+	pairsBelow := func(u int) float64 { return float64(u) * float64(u-1) / 2 }
 	parallel.Run(parallel.Workers(workers), len(blocks), func(s int) {
 		r := rngs[s]
-		b := graph.NewBuilder(n)
+		hint := int(density*(pairsBelow(blocks[s].Hi)-pairsBelow(blocks[s].Lo))*1.2) + 16
+		b := graph.NewBuilderCap(n, hint)
 		for u := blocks[s].Lo; u < blocks[s].Hi; u++ {
 			for v := 0; v < u; v++ {
 				nc := bits.OnesCount64(uint64(u & v))
@@ -219,11 +225,15 @@ func (m Model) SampleExactWorkers(rng *randx.Rand, workers int) *graph.Graph {
 		}
 		parts[s] = b
 	})
-	merged := graph.NewBuilder(n)
+	pending := 0
+	for _, p := range parts {
+		pending += p.NumPending()
+	}
+	merged := graph.NewBuilderCap(n, pending)
 	for _, p := range parts {
 		merged.Absorb(p)
 	}
-	return merged.Build()
+	return merged.BuildWorkers(workers)
 }
 
 // SampleBallDrop draws an undirected simple graph with approximately the
@@ -266,15 +276,68 @@ func (m Model) dropPair(r *randx.Rand, pa, pb float64) (u, v int) {
 	return u, v
 }
 
+// dropUnique draws ball drops from r until it has accepted `need` keys
+// distinct from each other and from the sorted `exclude` set, or until
+// maxAttempts drops have been made, and returns the accepted keys as a
+// sorted slice. Duplicate elimination is map-free: candidates are
+// gathered in rounds sized to the remaining need, each round is sorted
+// and deduplicated (parallel.SortInt64 on the packed keys) and merged
+// into the sorted accepted set, and per-drop membership tests are
+// binary searches against that set.
+//
+// The rounds replay the historical one-map-lookup-per-drop generator
+// exactly: every drop consumes K draws from r; self-loops and keys
+// already accepted (or excluded) are rejected by the same rules; a
+// candidate that duplicates an earlier candidate of its own round
+// merely ends the round early, after which the next round's membership
+// filter rejects it — so acceptance reaches `need` at precisely the
+// drop where the serial generator accepted its last key. The accepted
+// key set and the final state of r are therefore identical to the
+// map-based implementation for every seed.
+func (m Model) dropUnique(r *randx.Rand, pa, pb float64, need, maxAttempts int, exclude []int64) []int64 {
+	accepted := make([]int64, 0, need)
+	var cand, scratch []int64
+	attempts := 0
+	for len(accepted) < need && attempts < maxAttempts {
+		want := need - len(accepted)
+		cand = cand[:0]
+		for len(cand) < want && attempts < maxAttempts {
+			u, v := m.dropPair(r, pa, pb)
+			attempts++
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			key := int64(u)<<32 | int64(v)
+			if _, dup := slices.BinarySearch(accepted, key); dup {
+				continue
+			}
+			if _, dup := slices.BinarySearch(exclude, key); dup {
+				continue
+			}
+			cand = append(cand, key)
+		}
+		scratch = parallel.SortInt64(1, cand, scratch)
+		cand = slices.Compact(cand)
+		accepted = parallel.MergeSortedInt64(accepted, cand)
+	}
+	return accepted
+}
+
 // SampleBallDropNWorkers shards ball dropping over per-shard edge
 // quotas on up to workers goroutines (<= 0 selects
 // runtime.GOMAXPROCS(0)). The target is split across a fixed number of
-// shards, each dropping its quota with a private random stream and a
-// shard-local duplicate set; the shards' edges are then merged with a
-// global dedup pass, and a final serial top-up stream replaces the few
-// edges lost to cross-shard collisions. The shard count and every
-// stream derivation depend only on the model and target, so for a
-// given seed the sampled graph is identical for every worker count.
+// shards, each dropping its quota with a private random stream and
+// shard-local sort-and-dedup duplicate elimination (dropUnique); the
+// shards' sorted keys are then merged with a global radix-sort dedup
+// pass, and a final serial top-up stream replaces the few edges lost
+// to cross-shard collisions. The shard count, every stream derivation,
+// the per-stream drop order, and the top-up semantics depend only on
+// the model and target, so for a given seed the sampled graph is
+// identical for every worker count — and identical to what the
+// historical map-based dedup produced.
 func (m Model) SampleBallDropNWorkers(rng *randx.Rand, target, workers int) *graph.Graph {
 	n := m.NumNodes()
 	maxPairs := n * (n - 1) / 2
@@ -302,64 +365,34 @@ func (m Model) SampleBallDropNWorkers(rng *randx.Rand, target, workers int) *gra
 	}
 	parts := make([][]int64, shards)
 	parallel.Run(parallel.Workers(workers), shards, func(s int) {
-		r := rngs[s]
-		q := quota(s)
-		local := make(map[int64]struct{}, 2*q)
-		keys := make([]int64, 0, q)
 		// Cap total attempts: dense targets on tiny graphs may need many
 		// re-drops; 200·quota + 1000 is far beyond what the sparse
 		// regimes of the paper require but keeps the routine total.
-		for attempts := 0; len(keys) < q && attempts < 200*q+1000; attempts++ {
-			u, v := m.dropPair(r, pa, pb)
-			if u == v {
-				continue
-			}
-			if u > v {
-				u, v = v, u
-			}
-			key := int64(u)<<32 | int64(v)
-			if _, dup := local[key]; dup {
-				continue
-			}
-			local[key] = struct{}{}
-			keys = append(keys, key)
-		}
-		parts[s] = keys
+		q := quota(s)
+		parts[s] = m.dropUnique(rngs[s], pa, pb, q, 200*q+1000, nil)
 	})
 
-	// Merge in shard order with a global dedup, then top up the edges
-	// lost to cross-shard collisions from the dedicated final stream.
-	seen := make(map[int64]struct{}, 2*target)
-	b := graph.NewBuilder(n)
-	placed := 0
+	// Concatenate the per-shard keys, radix-sort, and deduplicate: the
+	// result is the same edge set the historical shard-ordered map merge
+	// placed. Then top up the edges lost to cross-shard collisions from
+	// the dedicated final stream, excluding everything already placed.
+	total := 0
 	for _, keys := range parts {
-		for _, key := range keys {
-			if _, dup := seen[key]; dup {
-				continue
-			}
-			seen[key] = struct{}{}
-			b.AddEdge(int(key>>32), int(key&0xffffffff))
-			placed++
-		}
+		total += len(keys)
 	}
-	top := rngs[shards]
-	for attempts := 0; placed < target && attempts < 200*target+1000; attempts++ {
-		u, v := m.dropPair(top, pa, pb)
-		if u == v {
-			continue
-		}
-		if u > v {
-			u, v = v, u
-		}
-		key := int64(u)<<32 | int64(v)
-		if _, dup := seen[key]; dup {
-			continue
-		}
-		seen[key] = struct{}{}
-		b.AddEdge(u, v)
-		placed++
+	all := make([]int64, 0, total)
+	for _, keys := range parts {
+		all = append(all, keys...)
 	}
-	return b.Build()
+	parallel.SortInt64(parallel.Workers(workers), all, nil)
+	uniq := slices.Compact(all)
+	if len(uniq) < target {
+		extra := m.dropUnique(rngs[shards], pa, pb, target-len(uniq), 200*target+1000, uniq)
+		uniq = parallel.MergeSortedInt64(uniq, extra)
+	}
+	b := graph.NewBuilderCap(n, len(uniq))
+	b.AddPackedEdges(uniq)
+	return b.BuildWorkers(workers)
 }
 
 // Sample draws a graph using the exact sampler for K <= 13 and ball
