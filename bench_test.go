@@ -297,6 +297,71 @@ func BenchmarkBallDropN(b *testing.B) {
 	}
 }
 
+// --- Pipeline-overhead benchmarks (scripts/bench.sh → BENCH_3.json) ---
+//
+// Each pair runs the same workload through the historical blocking
+// entry point ("plain") and through its ...Ctx variant under a live,
+// cancellable-but-never-cancelled context ("ctx") — the real
+// cancellation path, not the background fast path. PR 3's acceptance
+// bound is ctx within 2% of plain; scripts/bench.sh computes the
+// ratios into BENCH_3.json.
+
+func BenchmarkPipelineOverhead(b *testing.B) {
+	g := featureGraph(b, 16, 1<<20)
+	m := skg.Model{Init: skg.Initiator{A: 0.99, B: 0.45, C: 0.25}, K: 16}
+
+	b.Run("features-plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if f := stats.FeaturesOfWorkers(g, 1); f.E == 0 {
+				b.Fatal("bad features")
+			}
+		}
+	})
+	b.Run("features-ctx", func(b *testing.B) {
+		run := liveRun(b, 1)
+		for i := 0; i < b.N; i++ {
+			f, err := stats.FeaturesOfCtx(run, g)
+			if err != nil || f.E == 0 {
+				b.Fatal("bad features", err)
+			}
+		}
+	})
+
+	b.Run("balldrop-plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if g := m.SampleBallDropNWorkers(randx.New(uint64(i)+1), 1<<19, 1); g.NumEdges() != 1<<19 {
+				b.Fatal("bad sample")
+			}
+		}
+	})
+	b.Run("balldrop-ctx", func(b *testing.B) {
+		run := liveRun(b, 1)
+		for i := 0; i < b.N; i++ {
+			g, err := m.SampleBallDropNCtx(run, randx.New(uint64(i)+1), 1<<19)
+			if err != nil || g.NumEdges() != 1<<19 {
+				b.Fatal("bad sample", err)
+			}
+		}
+	})
+
+	kg := featureGraph(b, 12, 1<<15)
+	b.Run("kronfit-plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := kronfit.Fit(kg, kronfit.Options{K: 12, Iters: 1, Rng: randx.New(uint64(i) + 1), Workers: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("kronfit-ctx", func(b *testing.B) {
+		run := liveRun(b, 1)
+		for i := 0; i < b.N; i++ {
+			if _, err := kronfit.FitCtx(run, kg, kronfit.Options{K: 12, Iters: 1, Rng: randx.New(uint64(i) + 1)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // --- Micro-benchmarks of the core kernels ---
 
 func benchGraph(b *testing.B, k int) *dpkron.Graph {

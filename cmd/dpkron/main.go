@@ -1,44 +1,146 @@
 // Command dpkron is the CLI for the differentially private stochastic
 // Kronecker graph estimator. It regenerates the paper's experiments and
 // provides the end-user workflow: fit (private or baseline), generate
-// synthetic graphs, and inspect statistics.
+// synthetic graphs, inspect statistics, and run the estimation service.
 //
 // Usage:
 //
 //	dpkron table1  [-eps E] [-delta D] [-seed S]
 //	dpkron figure  -dataset NAME [-expected N] [-csv FILE] [-plot]
-//	dpkron fit     -in FILE [-method private|mom|mle] [-eps E] [-delta D] [-k K]
+//	dpkron fit     -in FILE|- [-method private|mom|mle] [-eps E] [-delta D] [-k K]
 //	dpkron generate -a A -b B -c C -k K [-out FILE] [-method exact|balldrop]
-//	dpkron stats   -in FILE
+//	dpkron stats   -in FILE|-
 //	dpkron sweep   [-dataset NAME] [-trials N]
 //	dpkron ssgrowth [-kmin K] [-kmax K]
+//	dpkron sscompare [-kmin K] [-kmax K]
+//	dpkron serve   [-addr HOST:PORT] [-max-jobs N]
 //	dpkron datasets
+//
+// Every long-running command accepts the shared pipeline flags:
+// -workers bounds parallelism (results are identical for any value),
+// -timeout aborts the run after a duration, and -progress streams
+// pipeline stage events to stderr. Commands reading -in accept "-" for
+// stdin. Flag errors and missing required flags exit with status 2
+// after printing usage; runtime failures exit 1.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"sync"
+	"syscall"
+	"time"
 
 	"dpkron/internal/core"
 	"dpkron/internal/experiments"
 	"dpkron/internal/graph"
 	"dpkron/internal/kronfit"
 	"dpkron/internal/kronmom"
+	"dpkron/internal/pipeline"
 	"dpkron/internal/randx"
+	"dpkron/internal/server"
 	"dpkron/internal/skg"
 	"dpkron/internal/stats"
 	"dpkron/internal/textplot"
 )
 
-// workersFlag registers the shared -workers flag: every command shards
-// its hot paths across this many goroutines. Results are identical for
-// any value; the flag only bounds parallelism.
-func workersFlag(fs *flag.FlagSet) *int {
-	return fs.Int("workers", runtime.GOMAXPROCS(0),
-		"goroutines for parallel sampling/counting/fitting (results are worker-count invariant)")
+// errUsage marks a user error that has already been reported together
+// with usage text; main turns it into exit status 2.
+var errUsage = errors.New("usage error")
+
+// usagef reports a usage problem on stderr, prints the command's flag
+// defaults, and returns errUsage.
+func usagef(fs *flag.FlagSet, format string, args ...any) error {
+	fmt.Fprintf(os.Stderr, "dpkron %s: %s\n", fs.Name(), fmt.Sprintf(format, args...))
+	fs.Usage()
+	return errUsage
+}
+
+// parse runs fs.Parse with ContinueOnError semantics mapped onto the
+// command error contract: -h/-help exits 0, malformed flags exit 2.
+func parse(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		// flag already printed the error and usage.
+		return errUsage
+	}
+	return nil
+}
+
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	return fs
+}
+
+// pipeFlags registers the shared pipeline flags: worker budget, wall
+// deadline, and stage-progress rendering.
+type pipeFlags struct {
+	workers  *int
+	timeout  *time.Duration
+	progress *bool
+}
+
+func addPipeFlags(fs *flag.FlagSet) pipeFlags {
+	return pipeFlags{
+		workers: fs.Int("workers", runtime.GOMAXPROCS(0),
+			"goroutines for parallel sampling/counting/fitting (results are worker-count invariant)"),
+		timeout: fs.Duration("timeout", 0,
+			"abort the command after this duration (e.g. 90s, 5m; 0 = no limit)"),
+		progress: fs.Bool("progress", false,
+			"print pipeline stage progress lines to stderr"),
+	}
+}
+
+// newRun materializes the pipeline Run for a command: a context that
+// dies on SIGINT/SIGTERM and after -timeout, the -workers budget, and
+// the -progress sink.
+func (p pipeFlags) newRun() (*pipeline.Run, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	var sink pipeline.Sink
+	if *p.progress {
+		sink = progressSink(os.Stderr)
+	}
+	run, cancel := pipeline.WithTimeout(ctx, *p.timeout, *p.workers, sink)
+	return run, func() {
+		cancel()
+		stop()
+	}
+}
+
+// progressSink renders stage events as stderr lines: start and done
+// for every stage, plus intermediate fractions in >= 25% steps. The
+// throttle state is dropped when a stage completes (and capped as a
+// backstop) so a long-lived `serve -progress` process, whose stage
+// keys carry unique job-id prefixes, does not grow without bound.
+func progressSink(w io.Writer) pipeline.Sink {
+	last := map[string]float64{}
+	return func(e pipeline.Event) {
+		switch {
+		case e.Frac <= 0:
+			fmt.Fprintf(w, "[stage] %s ...\n", e.Stage)
+		case e.Frac >= 1:
+			delete(last, e.Stage)
+			fmt.Fprintf(w, "[stage] %s done\n", e.Stage)
+		case e.Frac-last[e.Stage] >= 0.25:
+			if len(last) >= 1024 { // stages that never complete (cancelled jobs)
+				clear(last)
+			}
+			last[e.Stage] = e.Frac
+			fmt.Fprintf(w, "[stage] %s %3.0f%%\n", e.Stage, e.Frac*100)
+		}
+	}
 }
 
 func main() {
@@ -65,6 +167,8 @@ func main() {
 		err = cmdSSGrowth(args)
 	case "sscompare":
 		err = cmdSSCompare(args)
+	case "serve":
+		err = cmdServe(args)
 	case "datasets":
 		err = cmdDatasets(args)
 	case "help", "-h", "--help":
@@ -74,7 +178,11 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	if err != nil {
+	switch {
+	case err == nil:
+	case errors.Is(err, errUsage):
+		os.Exit(2)
+	default:
 		fmt.Fprintf(os.Stderr, "dpkron %s: %v\n", cmd, err)
 		os.Exit(1)
 	}
@@ -92,20 +200,30 @@ commands:
   sweep      privacy-utility sweep over epsilon
   ssgrowth   smooth sensitivity of triangles vs graph size
   sscompare  smooth sensitivity: SKG vs density-matched G(n,p)
+  serve      run the HTTP/JSON estimation job service
   datasets   list the built-in evaluation datasets
+
+shared flags (all long-running commands):
+  -workers N     parallelism bound (results identical for any N)
+  -timeout D     abort after duration D (e.g. 90s, 5m)
+  -progress      print pipeline stage progress to stderr
 `)
 }
 
 func cmdTable1(args []string) error {
-	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+	fs := newFlagSet("table1")
 	eps := fs.Float64("eps", 0.2, "total epsilon")
 	delta := fs.Float64("delta", 0.01, "delta")
 	seed := fs.Uint64("seed", 7, "random seed")
 	iters := fs.Int("kronfit-iters", 60, "KronFit gradient iterations")
-	workers := workersFlag(fs)
-	fs.Parse(args)
-	opts := experiments.Table1Options{Eps: *eps, Delta: *delta, Seed: *seed, KronFitIters: *iters, Workers: *workers}
-	rows, err := experiments.RunTable1(opts)
+	pf := addPipeFlags(fs)
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	run, cancel := pf.newRun()
+	defer cancel()
+	opts := experiments.Table1Options{Eps: *eps, Delta: *delta, Seed: *seed, KronFitIters: *iters, Workers: *pf.workers}
+	rows, err := experiments.RunTable1Ctx(run, opts)
 	if err != nil {
 		return err
 	}
@@ -114,7 +232,7 @@ func cmdTable1(args []string) error {
 }
 
 func cmdFigure(args []string) error {
-	fs := flag.NewFlagSet("figure", flag.ExitOnError)
+	fs := newFlagSet("figure")
 	name := fs.String("dataset", "CA-GrQc-like", "dataset name (see `dpkron datasets`)")
 	expected := fs.Int("expected", 0, "realizations for expected curves (paper: 100)")
 	csvPath := fs.String("csv", "", "write full series to CSV file")
@@ -122,14 +240,18 @@ func cmdFigure(args []string) error {
 	eps := fs.Float64("eps", 0.2, "total epsilon")
 	delta := fs.Float64("delta", 0.01, "delta")
 	seed := fs.Uint64("seed", 11, "random seed")
-	workers := workersFlag(fs)
-	fs.Parse(args)
+	pf := addPipeFlags(fs)
+	if err := parse(fs, args); err != nil {
+		return err
+	}
 	d, err := experiments.Lookup(*name)
 	if err != nil {
 		return err
 	}
-	res, err := experiments.RunFigure(d, experiments.FigureOptions{
-		Eps: *eps, Delta: *delta, Seed: *seed, ExpectedRuns: *expected, Workers: *workers,
+	run, cancel := pf.newRun()
+	defer cancel()
+	res, err := experiments.RunFigureCtx(run, d, experiments.FigureOptions{
+		Eps: *eps, Delta: *delta, Seed: *seed, ExpectedRuns: *expected, Workers: *pf.workers,
 	})
 	if err != nil {
 		return err
@@ -164,36 +286,65 @@ func cmdFigure(args []string) error {
 	return nil
 }
 
-func loadGraph(path string) (*graph.Graph, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
+// loadGraph reads a SNAP edge list from the named file, or from stdin
+// when path is "-". The read runs on its own goroutine so a stalled
+// producer (an upstream pipe that never closes) cannot outlive the
+// run's -timeout deadline; on cancellation the goroutine is abandoned
+// (the process is about to exit anyway).
+func loadGraph(run *pipeline.Run, path string) (*graph.Graph, error) {
+	type loaded struct {
+		g   *graph.Graph
+		err error
 	}
-	defer f.Close()
-	return graph.ReadEdgeList(f, 0)
+	ch := make(chan loaded, 1)
+	go func() {
+		if path == "-" {
+			g, err := graph.ReadEdgeList(os.Stdin, 0)
+			ch <- loaded{g, err}
+			return
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			ch <- loaded{nil, err}
+			return
+		}
+		defer f.Close()
+		g, err := graph.ReadEdgeList(f, 0)
+		ch <- loaded{g, err}
+	}()
+	select {
+	case l := <-ch:
+		return l.g, l.err
+	case <-run.Context().Done():
+		return nil, run.Err()
+	}
 }
 
 func cmdFit(args []string) error {
-	fs := flag.NewFlagSet("fit", flag.ExitOnError)
-	in := fs.String("in", "", "edge-list file (required)")
+	fs := newFlagSet("fit")
+	in := fs.String("in", "", "edge-list file, or - for stdin (required)")
 	method := fs.String("method", "private", "private | mom | mle")
 	eps := fs.Float64("eps", 0.2, "total epsilon (private)")
 	delta := fs.Float64("delta", 0.01, "delta (private)")
 	k := fs.Int("k", 0, "Kronecker power (0 = infer)")
 	seed := fs.Uint64("seed", 1, "random seed")
-	workers := workersFlag(fs)
-	fs.Parse(args)
-	if *in == "" {
-		return fmt.Errorf("-in is required")
+	pf := addPipeFlags(fs)
+	if err := parse(fs, args); err != nil {
+		return err
 	}
-	g, err := loadGraph(*in)
+	if *in == "" {
+		return usagef(fs, "-in is required")
+	}
+	run, cancel := pf.newRun()
+	defer cancel()
+	g, err := loadGraph(run, *in)
 	if err != nil {
 		return err
 	}
 	rng := randx.New(*seed)
 	switch strings.ToLower(*method) {
 	case "private":
-		res, err := core.Estimate(g, core.Options{Eps: *eps, Delta: *delta, K: *k, Rng: rng, Workers: *workers})
+		res, err := core.EstimateCtx(run, g, core.Options{Eps: *eps, Delta: *delta, K: *k, Rng: rng})
 		if err != nil {
 			return err
 		}
@@ -204,25 +355,25 @@ func cmdFit(args []string) error {
 			fmt.Printf("  budget: %-40s %s\n", c.Label, c.Budget)
 		}
 	case "mom":
-		res, err := kronmom.FitGraph(g, *k, kronmom.Options{Rng: rng, Workers: *workers})
+		res, err := kronmom.FitGraphCtx(run, g, *k, kronmom.Options{Rng: rng})
 		if err != nil {
 			return err
 		}
 		fmt.Printf("KronMom initiator: %s  (k=%d, objective=%.3g)\n", res.Init, res.K, res.Objective)
 	case "mle":
-		res, err := kronfit.Fit(g, kronfit.Options{K: *k, Rng: rng, Workers: *workers})
+		res, err := kronfit.FitCtx(run, g, kronfit.Options{K: *k, Rng: rng})
 		if err != nil {
 			return err
 		}
 		fmt.Printf("KronFit initiator: %s  (k=%d, ll=%.1f)\n", res.Init, res.K, res.LogLikelihood)
 	default:
-		return fmt.Errorf("unknown method %q", *method)
+		return usagef(fs, "unknown method %q", *method)
 	}
 	return nil
 }
 
 func cmdGenerate(args []string) error {
-	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	fs := newFlagSet("generate")
 	a := fs.Float64("a", 0.99, "initiator a")
 	b := fs.Float64("b", 0.45, "initiator b")
 	c := fs.Float64("c", 0.25, "initiator c")
@@ -230,21 +381,30 @@ func cmdGenerate(args []string) error {
 	out := fs.String("out", "", "output edge-list file (default stdout)")
 	method := fs.String("method", "auto", "exact | balldrop | auto")
 	seed := fs.Uint64("seed", 1, "random seed")
-	workers := workersFlag(fs)
-	fs.Parse(args)
+	pf := addPipeFlags(fs)
+	if err := parse(fs, args); err != nil {
+		return err
+	}
 	m, err := skg.NewModel(skg.Initiator{A: *a, B: *b, C: *c}, *k)
 	if err != nil {
 		return err
 	}
+	run, cancel := pf.newRun()
+	defer cancel()
 	rng := randx.New(*seed)
 	var g *graph.Graph
 	switch strings.ToLower(*method) {
 	case "exact":
-		g = m.SampleExactWorkers(rng, *workers)
+		g, err = m.SampleExactCtx(run, rng)
 	case "balldrop":
-		g = m.SampleBallDropWorkers(rng, *workers)
+		g, err = m.SampleBallDropCtx(run, rng)
+	case "auto":
+		g, err = m.SampleCtx(run, rng)
 	default:
-		g = m.SampleWorkers(rng, *workers)
+		return usagef(fs, "unknown method %q", *method)
+	}
+	if err != nil {
+		return err
 	}
 	w := os.Stdout
 	if *out != "" {
@@ -265,22 +425,32 @@ func cmdGenerate(args []string) error {
 }
 
 func cmdStats(args []string) error {
-	fs := flag.NewFlagSet("stats", flag.ExitOnError)
-	in := fs.String("in", "", "edge-list file (required)")
-	workers := workersFlag(fs)
-	fs.Parse(args)
-	if *in == "" {
-		return fmt.Errorf("-in is required")
+	fs := newFlagSet("stats")
+	in := fs.String("in", "", "edge-list file, or - for stdin (required)")
+	pf := addPipeFlags(fs)
+	if err := parse(fs, args); err != nil {
+		return err
 	}
-	g, err := loadGraph(*in)
+	if *in == "" {
+		return usagef(fs, "-in is required")
+	}
+	run, cancel := pf.newRun()
+	defer cancel()
+	g, err := loadGraph(run, *in)
 	if err != nil {
 		return err
 	}
-	f := stats.FeaturesOfWorkers(g, *workers)
+	f, err := stats.FeaturesOfCtx(run, g)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("nodes: %d\nedges: %.0f\nhairpins (wedges): %.0f\ntripins (3-stars): %.0f\ntriangles: %.0f\n",
 		g.NumNodes(), f.E, f.H, f.T, f.Delta)
 	fmt.Printf("global clustering: %.4f\nmax degree: %d\n", stats.GlobalClustering(g), g.MaxDegree())
-	hop := stats.HopPlotWorkers(g, *workers)
+	hop, err := stats.HopPlotCtx(run, g)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("effective diameter (90%%): %.2f\n", stats.EffectiveDiameter(hop, 0.9))
 	_, sizes := stats.ConnectedComponents(g)
 	largest := 0
@@ -294,20 +464,27 @@ func cmdStats(args []string) error {
 }
 
 func cmdSweep(args []string) error {
-	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	fs := newFlagSet("sweep")
 	name := fs.String("dataset", "Synthetic", "dataset name")
 	trials := fs.Int("trials", 5, "trials per epsilon")
 	delta := fs.Float64("delta", 0.01, "delta")
 	seed := fs.Uint64("seed", 3, "random seed")
-	workers := workersFlag(fs)
-	fs.Parse(args)
+	pf := addPipeFlags(fs)
+	if err := parse(fs, args); err != nil {
+		return err
+	}
 	d, err := experiments.Lookup(*name)
 	if err != nil {
 		return err
 	}
-	g := d.GenerateWorkers(*workers)
-	rows, err := experiments.EpsilonSweepWorkers(g, d.K,
-		[]float64{0.05, 0.1, 0.2, 0.5, 1, 2}, *delta, *trials, *seed, *workers)
+	run, cancel := pf.newRun()
+	defer cancel()
+	g, err := d.GenerateCtx(run)
+	if err != nil {
+		return err
+	}
+	rows, err := experiments.EpsilonSweepCtx(run, g, d.K,
+		[]float64{0.05, 0.1, 0.2, 0.5, 1, 2}, *delta, *trials, *seed)
 	if err != nil {
 		return err
 	}
@@ -317,18 +494,23 @@ func cmdSweep(args []string) error {
 }
 
 func cmdSSGrowth(args []string) error {
-	fs := flag.NewFlagSet("ssgrowth", flag.ExitOnError)
+	fs := newFlagSet("ssgrowth")
 	kmin := fs.Int("kmin", 8, "smallest k")
 	kmax := fs.Int("kmax", 13, "largest k")
 	eps := fs.Float64("eps", 0.2, "total epsilon")
 	delta := fs.Float64("delta", 0.01, "delta")
 	seed := fs.Uint64("seed", 3, "random seed")
-	fs.Parse(args)
+	pf := addPipeFlags(fs)
+	if err := parse(fs, args); err != nil {
+		return err
+	}
 	var ks []int
 	for k := *kmin; k <= *kmax; k++ {
 		ks = append(ks, k)
 	}
-	rows, err := experiments.SmoothSensGrowth(skg.Initiator{A: 0.99, B: 0.45, C: 0.25}, ks, *eps, *delta, *seed)
+	run, cancel := pf.newRun()
+	defer cancel()
+	rows, err := experiments.SmoothSensGrowthCtx(run, skg.Initiator{A: 0.99, B: 0.45, C: 0.25}, ks, *eps, *delta, *seed)
 	if err != nil {
 		return err
 	}
@@ -337,23 +519,86 @@ func cmdSSGrowth(args []string) error {
 }
 
 func cmdSSCompare(args []string) error {
-	fs := flag.NewFlagSet("sscompare", flag.ExitOnError)
+	fs := newFlagSet("sscompare")
 	kmin := fs.Int("kmin", 8, "smallest k")
 	kmax := fs.Int("kmax", 13, "largest k")
 	eps := fs.Float64("eps", 0.2, "total epsilon")
 	delta := fs.Float64("delta", 0.01, "delta")
 	seed := fs.Uint64("seed", 11, "random seed")
-	fs.Parse(args)
+	pf := addPipeFlags(fs)
+	if err := parse(fs, args); err != nil {
+		return err
+	}
 	var ks []int
 	for k := *kmin; k <= *kmax; k++ {
 		ks = append(ks, k)
 	}
-	rows, err := experiments.SmoothSensCompare(skg.Initiator{A: 0.99, B: 0.45, C: 0.25}, ks, *eps, *delta, *seed)
+	run, cancel := pf.newRun()
+	defer cancel()
+	rows, err := experiments.SmoothSensCompareCtx(run, skg.Initiator{A: 0.99, B: 0.45, C: 0.25}, ks, *eps, *delta, *seed)
 	if err != nil {
 		return err
 	}
 	fmt.Print(experiments.RenderSSCompare(rows))
 	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := newFlagSet("serve")
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	maxJobs := fs.Int("max-jobs", 2, "concurrently running jobs (worker budget is split across them)")
+	maxQueue := fs.Int("max-queue", 32, "bound on admitted unfinished jobs (429 beyond it)")
+	maxHistory := fs.Int("max-history", 256, "finished jobs retained for polling before eviction")
+	pf := addPipeFlags(fs) // -workers, -timeout (server lifetime), -progress (job event log)
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	opts := server.Options{Workers: *pf.workers, MaxJobs: *maxJobs, MaxQueue: *maxQueue, MaxHistory: *maxHistory}
+	if *pf.progress {
+		// Event streams are serialized per job but concurrent across
+		// jobs; one mutex keeps the shared stderr renderer safe.
+		var mu sync.Mutex
+		sink := progressSink(os.Stderr)
+		opts.EventLog = func(jobID string, e pipeline.Event) {
+			mu.Lock()
+			defer mu.Unlock()
+			sink(pipeline.Event{Stage: jobID + "/" + e.Stage, Frac: e.Frac})
+		}
+	}
+	srv := server.New(opts)
+	defer srv.Close()
+	// Listen before serving so -addr :0 (ephemeral port) reports the
+	// real address — which also makes the command end-to-end testable.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+
+	// -timeout bounds the server's lifetime (useful for smoke tests and
+	// batch drivers); SIGINT/SIGTERM always shut down gracefully.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *pf.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *pf.timeout)
+		defer cancel()
+	}
+	errCh := make(chan error, 1)
+	fmt.Fprintf(os.Stderr, "dpkron serve: listening on http://%s (max-jobs=%d, workers=%d)\n",
+		ln.Addr(), *maxJobs, *pf.workers)
+	go func() {
+		errCh <- httpSrv.Serve(ln)
+	}()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "dpkron serve: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return httpSrv.Shutdown(shutCtx)
+	}
 }
 
 func cmdDatasets(args []string) error {

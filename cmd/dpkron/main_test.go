@@ -1,11 +1,17 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // buildCLI compiles the command once per test binary.
@@ -109,5 +115,198 @@ func TestCLIErrors(t *testing.T) {
 		if out, err := cmd.CombinedOutput(); err == nil {
 			t.Errorf("dpkron %v: expected failure, got:\n%s", args, out)
 		}
+	}
+}
+
+// exitCode runs the binary and returns its exit status plus combined
+// output (-1 when it cannot be determined).
+func exitCode(t *testing.T, bin string, stdin string, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return ee.ExitCode(), string(out)
+	}
+	t.Fatalf("dpkron %v: %v\n%s", args, err, out)
+	return -1, ""
+}
+
+// TestCLIUsageExitCodes: flag-parse errors and missing required flags
+// exit 2 with usage text; runtime failures exit 1.
+func TestCLIUsageExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	bin := buildCLI(t)
+	for _, tc := range []struct {
+		args []string
+		want int
+	}{
+		{[]string{"fit"}, 2},                             // missing -in
+		{[]string{"stats"}, 2},                           // missing -in
+		{[]string{"fit", "-bogusflag"}, 2},               // unknown flag
+		{[]string{"generate", "-k", "notanint"}, 2},      // malformed value
+		{[]string{"nonsense"}, 2},                        // unknown command
+		{[]string{"fit", "-in", "/nonexistent"}, 1},      // runtime error
+		{[]string{"figure", "-dataset", "bogus"}, 1},     // runtime error
+		{[]string{"fit", "-in", "-", "-method", "x"}, 2}, // bad enum value
+	} {
+		code, out := exitCode(t, bin, "0 1\n", tc.args...)
+		if code != tc.want {
+			t.Errorf("dpkron %v: exit %d, want %d\n%s", tc.args, code, tc.want, out)
+		}
+		if tc.want == 2 && !strings.Contains(out, "Usage") && !strings.Contains(out, "-workers") && !strings.Contains(out, "commands:") {
+			t.Errorf("dpkron %v: exit-2 output lacks usage text:\n%s", tc.args, out)
+		}
+	}
+}
+
+// TestCLIStdinAndPipelineFlags covers -in -, -progress, and -timeout.
+func TestCLIStdinAndPipelineFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	bin := buildCLI(t)
+
+	// A small deterministic edge list on stdin.
+	gen := run(t, bin, "generate", "-a", "0.95", "-b", "0.5", "-c", "0.3", "-k", "7", "-seed", "2")
+
+	code, out := exitCode(t, bin, gen, "stats", "-in", "-")
+	if code != 0 || !strings.Contains(out, "nodes: 128") {
+		t.Fatalf("stats -in -: exit %d\n%s", code, out)
+	}
+
+	code, out = exitCode(t, bin, gen, "fit", "-in", "-", "-method", "mom", "-k", "7", "-progress")
+	if code != 0 {
+		t.Fatalf("fit -in - -progress: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "[stage] features ...") || !strings.Contains(out, "[stage] kronmom done") {
+		t.Errorf("fit -progress missing stage lines:\n%s", out)
+	}
+	if !strings.Contains(out, "KronMom initiator:") {
+		t.Errorf("fit -in - lost its result:\n%s", out)
+	}
+
+	// An unmeetable timeout aborts with the context error and exit 1.
+	code, out = exitCode(t, bin, "", "table1", "-timeout", "1ms")
+	if code != 1 || !strings.Contains(out, "context deadline exceeded") {
+		t.Errorf("table1 -timeout 1ms: exit %d, want 1 with deadline error\n%s", code, out)
+	}
+}
+
+// TestCLIServeEndToEnd boots the real service, submits a generate job
+// over HTTP, polls it to completion, and exercises cancel.
+func TestCLIServeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	bin := buildCLI(t)
+	cmd := exec.Command(bin, "serve", "-addr", "127.0.0.1:0", "-max-jobs", "1", "-workers", "1")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Signal(os.Interrupt)
+		cmd.Wait()
+	}()
+
+	// The serve banner names the bound address.
+	var base string
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "http://"); i >= 0 {
+			base = strings.Fields(line[i:])[0]
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("serve banner with address not seen")
+	}
+	go io.Copy(io.Discard, stderr)
+
+	post := func(path, body string) map[string]any {
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	get := func(path string) map[string]any {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	submitted := post("/v1/generate", `{"a":0.9,"b":0.5,"c":0.3,"k":7,"seed":2}`)
+	id, _ := submitted["id"].(string)
+	if id == "" {
+		t.Fatalf("no job id: %v", submitted)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	var job map[string]any
+	for {
+		job = get("/v1/jobs/" + id)
+		if s := job["status"]; s == "done" || s == "failed" || s == "cancelled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck: %v", job)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if job["status"] != "done" {
+		t.Fatalf("job ended %v: %v", job["status"], job)
+	}
+	result := job["result"].(map[string]any)
+	if result["nodes"].(float64) != 128 {
+		t.Errorf("nodes = %v, want 128", result["nodes"])
+	}
+
+	// Cancel flow: submit a long job, delete it, observe cancelled.
+	long := post("/v1/generate", `{"a":0.99,"b":0.55,"c":0.35,"k":13,"seed":5,"method":"exact","omit_edges":true}`)
+	longID := long["id"].(string)
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+longID, nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		job = get("/v1/jobs/" + longID)
+		if job["status"] == "cancelled" {
+			break
+		}
+		if s := job["status"]; s == "done" || s == "failed" {
+			t.Fatalf("long job ended %v, want cancelled", s)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cancel never landed: %v", job)
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }

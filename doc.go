@@ -36,4 +36,16 @@
 // structs accept a Workers bound (<= 0 means runtime.GOMAXPROCS(0));
 // plain entry points default to all cores. See README.md for the
 // paper-to-code map and the engine's design rules.
+//
+// # Cancellation, deadlines and progress
+//
+// Every long-running entry point has a ...Ctx variant taking a *Run
+// (NewRun / NewRunTimeout): a context.Context for cancellation and
+// deadlines, a worker budget, and an optional ProgressSink receiving
+// one event pair per pipeline stage. Cancellation only ever aborts —
+// a cancelled Run makes the call return the context's error, never a
+// perturbed result — and a Run that completes produces bits identical
+// to the blocking entry point for the same seed. The `dpkron serve`
+// command (internal/server) exposes the same pipeline as an HTTP/JSON
+// job API with polling, stage progress, and cancellation.
 package dpkron

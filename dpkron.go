@@ -1,7 +1,9 @@
 package dpkron
 
 import (
+	"context"
 	"io"
+	"time"
 
 	"dpkron/internal/anf"
 	"dpkron/internal/core"
@@ -10,6 +12,7 @@ import (
 	"dpkron/internal/kronfit"
 	"dpkron/internal/kronmom"
 	"dpkron/internal/linalg"
+	"dpkron/internal/pipeline"
 	"dpkron/internal/randx"
 	"dpkron/internal/skg"
 	"dpkron/internal/stats"
@@ -47,10 +50,38 @@ type (
 	MLEResult = kronfit.Result
 	// DegreePoint is one point of a per-degree aggregated series.
 	DegreePoint = stats.DegreePoint
+	// Run is the pipeline execution context threaded through the ...Ctx
+	// entry points: a context.Context for cancellation/deadline, a
+	// worker budget, and an optional progress sink. A nil *Run behaves
+	// as a background run on all cores.
+	Run = pipeline.Run
+	// ProgressEvent is one stage/progress notification: a stage path
+	// and the completed fraction (0 start, 1 done).
+	ProgressEvent = pipeline.Event
+	// ProgressSink receives pipeline progress events; calls are
+	// serialized by the Run.
+	ProgressSink = pipeline.Sink
 )
 
 // NewRand returns a deterministic random source for the given seed.
 func NewRand(seed uint64) *Rand { return randx.New(seed) }
+
+// NewRun returns a pipeline Run over ctx (nil means background) with
+// the given worker budget (<= 0 selects all cores) and optional
+// progress sink. Pass the Run to the ...Ctx entry points; cancelling
+// ctx makes them return promptly with ctx's error, and a Run that is
+// never cancelled produces results bit-identical to the blocking entry
+// points for the same seed.
+func NewRun(ctx context.Context, workers int, sink ProgressSink) *Run {
+	return pipeline.New(ctx, workers, sink)
+}
+
+// NewRunTimeout is NewRun with a deadline d (<= 0 means none) attached
+// to ctx; the returned cancel function must be called to release the
+// deadline's resources.
+func NewRunTimeout(ctx context.Context, d time.Duration, workers int, sink ProgressSink) (*Run, context.CancelFunc) {
+	return pipeline.WithTimeout(ctx, d, workers, sink)
+}
 
 // NewBuilder returns a Builder for a graph on n nodes.
 func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
@@ -75,6 +106,16 @@ func EstimatePrivate(g *Graph, opts PrivateOptions) (*PrivateResult, error) {
 	return core.Estimate(g, opts)
 }
 
+// EstimatePrivateCtx is EstimatePrivate under a pipeline Run: the
+// run's context is checked between and inside the algorithm stages
+// (cancellation aborts with the context's error, never a perturbed
+// result), the run's worker budget replaces opts.Workers, and one
+// progress event pair per Algorithm 1 stage is emitted to the run's
+// sink under the "algorithm1/" prefix.
+func EstimatePrivateCtx(run *Run, g *Graph, opts PrivateOptions) (*PrivateResult, error) {
+	return core.EstimateCtx(run, g, opts)
+}
+
 // FitMoment runs the non-private Gleich–Owen KronMom estimator on the
 // exact features of g ("KronMom" in the paper's Table 1). k <= 0 infers
 // the smallest adequate Kronecker power.
@@ -88,15 +129,43 @@ func FitMomentFeatures(f Features, k int, opts MomentOptions) (MomentEstimate, e
 	return kronmom.Fit(f, k, opts)
 }
 
+// FitMomentCtx is FitMoment under a pipeline Run (cancellable,
+// progress-reporting; see EstimatePrivateCtx for the contract).
+func FitMomentCtx(run *Run, g *Graph, k int, opts MomentOptions) (MomentEstimate, error) {
+	return kronmom.FitGraphCtx(run, g, k, opts)
+}
+
 // FitMLE runs the non-private KronFit approximate maximum-likelihood
 // estimator ("KronFit" in the paper's Table 1).
 func FitMLE(g *Graph, opts MLEOptions) (MLEResult, error) {
 	return kronfit.Fit(g, opts)
 }
 
+// FitMLECtx is FitMLE under a pipeline Run: cancellation is checked
+// once per gradient iteration and the "kronfit" stage reports an
+// incremental progress fraction.
+func FitMLECtx(run *Run, g *Graph, opts MLEOptions) (MLEResult, error) {
+	return kronfit.FitCtx(run, g, opts)
+}
+
 // FeaturesOf computes the exact matching features (edges, hairpins,
 // tripins, triangles) of g.
 func FeaturesOf(g *Graph) Features { return stats.FeaturesOf(g) }
+
+// FeaturesOfCtx is FeaturesOf under a pipeline Run.
+func FeaturesOfCtx(run *Run, g *Graph) (Features, error) {
+	return stats.FeaturesOfCtx(run, g)
+}
+
+// HopPlotCtx is HopPlot under a pipeline Run.
+func HopPlotCtx(run *Run, g *Graph) ([]int64, error) {
+	return stats.HopPlotCtx(run, g)
+}
+
+// ApproxHopPlotCtx is ApproxHopPlot under a pipeline Run.
+func ApproxHopPlotCtx(run *Run, g *Graph, trials int, rng *Rand) ([]float64, error) {
+	return anf.HopPlotCtx(run, g, anf.Options{Trials: trials, Rng: rng})
+}
 
 // HopPlot returns the exact cumulative hop plot of g (ordered pairs,
 // including self-pairs, within h hops) by all-source BFS.

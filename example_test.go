@@ -1,9 +1,11 @@
 package dpkron_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
+	"time"
 
 	"dpkron"
 )
@@ -59,6 +61,77 @@ func ExampleEstimatePrivate() {
 	// guarantee: (0.2, 0.01)-DP
 	// kronecker power: 10
 	// mechanisms charged: 2
+}
+
+// ExampleEstimatePrivateCtx runs Algorithm 1 under a pipeline Run: the
+// context bounds the wall time (cancellation aborts with the context's
+// error, never a perturbed result), the worker budget caps
+// parallelism, and the released estimate is bit-identical to the
+// blocking EstimatePrivate for the same seed.
+func ExampleEstimatePrivateCtx() {
+	model, err := dpkron.NewModel(dpkron.Initiator{A: 0.99, B: 0.55, C: 0.35}, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sensitive := model.Sample(dpkron.NewRand(1))
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	run := dpkron.NewRun(ctx, 4, nil) // ctx, worker budget, no progress sink
+
+	res, err := dpkron.EstimatePrivateCtx(run, sensitive, dpkron.PrivateOptions{
+		Eps: 0.2, Delta: 0.01, Rng: dpkron.NewRand(2),
+	})
+	if err != nil {
+		log.Fatal(err) // context.DeadlineExceeded if the minute ran out
+	}
+
+	blocking, err := dpkron.EstimatePrivate(sensitive, dpkron.PrivateOptions{
+		Eps: 0.2, Delta: 0.01, Rng: dpkron.NewRand(2),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("guarantee:", res.Privacy)
+	fmt.Println("identical to blocking call:", res.Init == blocking.Init)
+	// Output:
+	// guarantee: (0.2, 0.01)-DP
+	// identical to blocking call: true
+}
+
+// ExampleProgressSink shows the stage/progress event stream: a sink
+// passed to NewRun receives one event pair per pipeline stage (Frac 0
+// on start, 1 on completion), which is how `dpkron -progress` and the
+// `dpkron serve` job API surface live progress. Events arrive
+// serialized — the sink needs no locking.
+func ExampleProgressSink() {
+	model, err := dpkron.NewModel(dpkron.Initiator{A: 0.99, B: 0.55, C: 0.35}, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sensitive := model.Sample(dpkron.NewRand(1))
+
+	var started []string
+	sink := func(e dpkron.ProgressEvent) {
+		if e.Frac == 0 { // stage start; e.Done() marks completion
+			started = append(started, e.Stage)
+		}
+	}
+	run := dpkron.NewRun(context.Background(), 2, sink)
+	if _, err := dpkron.EstimatePrivateCtx(run, sensitive, dpkron.PrivateOptions{
+		Eps: 0.5, Delta: 0.01, Rng: dpkron.NewRand(7),
+	}); err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range started {
+		fmt.Println(s)
+	}
+	// Output:
+	// algorithm1/degree-release
+	// algorithm1/feature-derivation
+	// algorithm1/triangle-release
+	// algorithm1/moment-fit
+	// algorithm1/moment-fit/kronmom
 }
 
 // ExamplePrivateResult_Model closes the loop of the paper's workflow:

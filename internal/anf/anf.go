@@ -7,10 +7,12 @@
 package anf
 
 import (
+	"context"
 	"math"
 
 	"dpkron/internal/graph"
 	"dpkron/internal/parallel"
+	"dpkron/internal/pipeline"
 	"dpkron/internal/randx"
 )
 
@@ -30,7 +32,8 @@ type Options struct {
 	// estimation; <= 0 selects runtime.GOMAXPROCS(0). The estimate is
 	// identical for every worker count: sketch initialization consumes
 	// the Rng serially, propagation writes disjoint node blocks, and
-	// the cardinality sum reduces fixed shards in order.
+	// the cardinality sum reduces fixed shards in order. HopPlotCtx
+	// ignores this field: the pipeline Run's budget is authoritative.
 	Workers int
 }
 
@@ -48,16 +51,28 @@ func (o *Options) fill() {
 // The returned slice stops when the estimate stops growing (within one
 // part in 1e6) or at MaxHops.
 func HopPlot(g *graph.Graph, opts Options) []float64 {
+	hop, _ := HopPlotCtx(pipeline.New(nil, opts.Workers, nil), g, opts)
+	return hop
+}
+
+// HopPlotCtx is HopPlot under a pipeline Run: the worker budget comes
+// from run (Options.Workers is ignored), the context is checked once
+// per propagation round and between the blocks of each round, and an
+// "anf" stage event pair is emitted. A run that is never cancelled
+// estimates the exact HopPlot series for the same Rng; a cancelled run
+// returns run.Err().
+func HopPlotCtx(run *pipeline.Run, g *graph.Graph, opts Options) ([]float64, error) {
 	opts.fill()
 	if opts.Rng == nil {
 		panic("anf: Options.Rng is required")
 	}
 	n := g.NumNodes()
 	if n == 0 {
-		return nil
+		return nil, run.Err()
 	}
+	done := run.Stage("anf")
 	R := opts.Trials
-	workers := parallel.Workers(opts.Workers)
+	ctx, workers := run.Context(), run.Workers()
 	cur := make([]uint64, n*R)
 	next := make([]uint64, n*R)
 	for v := 0; v < n; v++ {
@@ -65,11 +80,15 @@ func HopPlot(g *graph.Graph, opts Options) []float64 {
 			cur[v*R+t] = 1 << geometricBit(opts.Rng)
 		}
 	}
-	est := []float64{estimateTotal(cur, n, R, workers)}
+	first, err := estimateTotalCtx(ctx, cur, n, R, workers)
+	if err != nil {
+		return nil, err
+	}
+	est := []float64{first}
 	for h := 1; h <= opts.MaxHops; h++ {
 		// Each round reads cur and writes disjoint node blocks of next,
 		// so the propagation shards freely across the pool.
-		parallel.ForBlocks(workers, n, func(_, lo, hi int) {
+		if err := parallel.ForBlocksCtx(ctx, workers, n, func(_, lo, hi int) {
 			copy(next[lo*R:hi*R], cur[lo*R:hi*R])
 			for v := lo; v < hi; v++ {
 				row := next[v*R : v*R+R]
@@ -80,9 +99,14 @@ func HopPlot(g *graph.Graph, opts Options) []float64 {
 					}
 				}
 			}
-		})
+		}); err != nil {
+			return nil, err
+		}
 		cur, next = next, cur
-		total := estimateTotal(cur, n, R, workers)
+		total, err := estimateTotalCtx(ctx, cur, n, R, workers)
+		if err != nil {
+			return nil, err
+		}
 		est = append(est, total)
 		if total <= est[len(est)-2]*(1+1e-6) {
 			// Converged: drop the flat tail entry and stop.
@@ -90,7 +114,8 @@ func HopPlot(g *graph.Graph, opts Options) []float64 {
 			break
 		}
 	}
-	return est
+	done()
+	return est, nil
 }
 
 // geometricBit samples a bit index with P(i) = 2^-(i+1), capped at 62.
@@ -102,11 +127,11 @@ func geometricBit(r *randx.Rand) int {
 	return i
 }
 
-// estimateTotal sums the per-node FM cardinality estimates with a
+// estimateTotalCtx sums the per-node FM cardinality estimates with a
 // fixed-shard ordered reduction, so the floating-point total is
 // identical for every worker count.
-func estimateTotal(masks []uint64, n, R, workers int) float64 {
-	return parallel.SumFloat64(workers, n, func(lo, hi int) float64 {
+func estimateTotalCtx(ctx context.Context, masks []uint64, n, R, workers int) (float64, error) {
+	return parallel.SumFloat64Ctx(ctx, workers, n, func(lo, hi int) float64 {
 		var total float64
 		for v := lo; v < hi; v++ {
 			var sum float64

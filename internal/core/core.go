@@ -26,6 +26,7 @@ import (
 	"dpkron/internal/dp"
 	"dpkron/internal/graph"
 	"dpkron/internal/kronmom"
+	"dpkron/internal/pipeline"
 	"dpkron/internal/randx"
 	"dpkron/internal/skg"
 	"dpkron/internal/smoothsens"
@@ -63,7 +64,8 @@ type Options struct {
 	// Workers bounds the goroutines used by the pipeline's parallel
 	// stages (feature counting, the smooth-sensitivity scan, and the
 	// moment optimizer); <= 0 selects runtime.GOMAXPROCS(0). The
-	// released estimate is identical for every worker count.
+	// released estimate is identical for every worker count. EstimateCtx
+	// ignores this field: the pipeline Run's budget is authoritative.
 	Workers int
 }
 
@@ -102,6 +104,18 @@ func (r *Result) Model() skg.Model { return skg.Model{Init: r.Init, K: r.K} }
 
 // Estimate runs Algorithm 1 on g.
 func Estimate(g *graph.Graph, opts Options) (*Result, error) {
+	return EstimateCtx(pipeline.New(nil, opts.Workers, nil), g, opts)
+}
+
+// EstimateCtx runs Algorithm 1 on g under a pipeline Run: the worker
+// budget comes from run (opts.Workers is ignored), one stage event pair
+// per algorithm stage is emitted under the "algorithm1/" prefix
+// (degree-release, feature-derivation, triangle-release, moment-fit),
+// the context is checked between stages and inside every parallel
+// stage, and a cancelled run returns run.Err(). A run that is never
+// cancelled consumes exactly the rng draws Estimate consumes and
+// releases the bit-identical estimate for the same seed.
+func EstimateCtx(run *pipeline.Run, g *graph.Graph, opts Options) (*Result, error) {
 	if opts.Rng == nil {
 		return nil, fmt.Errorf("core: Options.Rng is required")
 	}
@@ -119,17 +133,33 @@ func Estimate(g *graph.Graph, opts Options) (*Result, error) {
 	if 1<<k < g.NumNodes() {
 		return nil, fmt.Errorf("core: 2^%d < %d nodes", k, g.NumNodes())
 	}
+	alg := run.Sub("algorithm1")
 
 	var acc dp.Accountant
 	half := opts.Eps / 2
 
 	// Steps 1–3: private degree sequence and degree-derived features.
+	if err := alg.Err(); err != nil {
+		return nil, err
+	}
+	stageDone := alg.Stage("degree-release")
 	dtilde := degseq.Private(g, half, opts.Rng)
 	acc.Spend("sorted degree sequence (Hay et al.)", dp.Budget{Eps: half})
+	stageDone()
+	stageDone = alg.Stage("feature-derivation")
 	feats := stats.FeaturesFromDegrees(dtilde)
+	stageDone()
 
-	// Steps 4–5: private triangle count via smooth sensitivity.
-	tri := smoothsens.PrivateTrianglesWorkers(g, half, opts.Delta, opts.Rng, opts.Workers)
+	// Steps 4–5: private triangle count via smooth sensitivity. The
+	// smoothsens stage emits its own "triangle-release" events under the
+	// algorithm1 prefix.
+	if err := alg.Err(); err != nil {
+		return nil, err
+	}
+	tri, err := smoothsens.PrivateTrianglesCtx(alg, g, half, opts.Delta, opts.Rng)
+	if err != nil {
+		return nil, err
+	}
 	acc.Spend("triangle count (smooth sensitivity)", dp.Budget{Eps: half, Delta: opts.Delta})
 	feats.Delta = tri.Noisy
 
@@ -143,16 +173,17 @@ func Estimate(g *graph.Graph, opts Options) (*Result, error) {
 		objective.Features.Delta = false
 		deltaDropped = true
 	}
-	est, err := kronmom.Fit(feats, k, kronmom.Options{
+	stageDone = alg.Stage("moment-fit")
+	est, err := kronmom.FitCtx(alg.Sub("moment-fit"), feats, k, kronmom.Options{
 		Objective:    objective,
 		RandomStarts: opts.RandomStarts,
 		GridPoints:   opts.GridPoints,
 		Rng:          opts.Rng.Split(),
-		Workers:      opts.Workers,
 	})
 	if err != nil {
 		return nil, err
 	}
+	stageDone()
 
 	return &Result{
 		Init:         est.Init,

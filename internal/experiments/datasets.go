@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"dpkron/internal/graph"
+	"dpkron/internal/pipeline"
 	"dpkron/internal/randx"
 	"dpkron/internal/skg"
 )
@@ -125,12 +126,29 @@ func (d Dataset) Generate() *graph.Graph { return d.GenerateWorkers(0) }
 // GenerateWorkers is Generate with an explicit worker bound for the
 // exact sampler; the graph is identical for every worker count.
 func (d Dataset) GenerateWorkers(workers int) *graph.Graph {
+	g, _ := d.GenerateCtx(pipeline.New(nil, workers, nil))
+	return g
+}
+
+// GenerateCtx is Generate under a pipeline Run: the exact sampler
+// checks the context between shards and a "dataset" stage event pair is
+// emitted. A run that is never cancelled materializes the exact
+// Generate graph; a cancelled run returns run.Err().
+func (d Dataset) GenerateCtx(run *pipeline.Run) (*graph.Graph, error) {
+	done := run.Stage("dataset/" + d.Name)
 	m := skg.Model{Init: d.Source, K: d.K}
-	g := m.SampleExactWorkers(randx.New(d.Seed), workers)
+	g, err := m.SampleExactCtx(run, randx.New(d.Seed))
+	if err != nil {
+		return nil, err
+	}
 	if d.ClosureEdges > 0 {
+		if err := run.Err(); err != nil {
+			return nil, err
+		}
 		g = TriadicClosure(g, d.ClosureEdges, randx.New(d.Seed^0xabcdef))
 	}
-	return g
+	done()
+	return g, nil
 }
 
 // TriadicClosure adds up to extra distinct wedge-closing edges: a wedge

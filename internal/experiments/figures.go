@@ -12,6 +12,7 @@ import (
 	"dpkron/internal/kronmom"
 	"dpkron/internal/linalg"
 	"dpkron/internal/parallel"
+	"dpkron/internal/pipeline"
 	"dpkron/internal/randx"
 	"dpkron/internal/skg"
 	"dpkron/internal/stats"
@@ -99,19 +100,35 @@ var EstimatorNames = []string{"KronFit", "KronMom", "Private"}
 // RunFigure regenerates one figure for the dataset.
 func RunFigure(d Dataset, opts FigureOptions) (*FigureResult, error) {
 	opts.fill()
+	return RunFigureCtx(pipeline.New(nil, opts.Workers, nil), d, opts)
+}
+
+// RunFigureCtx is RunFigure under a pipeline Run: the dataset
+// generation, the three estimator fits, every statistics pass and the
+// expected-curve fan-out all run under run's context and worker budget
+// (opts.Workers is ignored), emitting their stage events under a
+// "figure/<dataset>" prefix. A run that is never cancelled regenerates
+// the exact RunFigure result for the same options; a cancelled run
+// returns run.Err().
+func RunFigureCtx(run *pipeline.Run, d Dataset, opts FigureOptions) (*FigureResult, error) {
+	opts.fill()
+	fig := run.Sub("figure/" + d.Name)
 	rng := randx.New(opts.Seed ^ d.Seed)
-	g := d.GenerateWorkers(opts.Workers)
+	g, err := d.GenerateCtx(fig)
+	if err != nil {
+		return nil, err
+	}
 
 	// Fit the three estimators.
-	kf, err := kronfit.Fit(g, kronfit.Options{K: d.K, Iters: opts.KronFitIters, Rng: rng.Split(), Workers: opts.Workers})
+	kf, err := kronfit.FitCtx(fig, g, kronfit.Options{K: d.K, Iters: opts.KronFitIters, Rng: rng.Split()})
 	if err != nil {
 		return nil, fmt.Errorf("kronfit: %w", err)
 	}
-	km, err := kronmom.FitGraph(g, d.K, kronmom.Options{Rng: rng.Split(), Workers: opts.Workers})
+	km, err := kronmom.FitGraphCtx(fig, g, d.K, kronmom.Options{Rng: rng.Split()})
 	if err != nil {
 		return nil, fmt.Errorf("kronmom: %w", err)
 	}
-	pr, err := core.Estimate(g, core.Options{Eps: opts.Eps, Delta: opts.Delta, K: d.K, Rng: rng.Split(), Workers: opts.Workers})
+	pr, err := core.EstimateCtx(fig, g, core.Options{Eps: opts.Eps, Delta: opts.Delta, K: d.K, Rng: rng.Split()})
 	if err != nil {
 		return nil, fmt.Errorf("private: %w", err)
 	}
@@ -121,25 +138,33 @@ func RunFigure(d Dataset, opts FigureOptions) (*FigureResult, error) {
 		"Private": pr.Init,
 	}
 
+	orig, err := computeStatsCtx(fig, g, opts, rng.Split())
+	if err != nil {
+		return nil, err
+	}
 	res := &FigureResult{
 		Dataset:   d,
 		Estimates: estimates,
-		Original:  computeStats(g, opts, rng.Split()),
+		Original:  orig,
 		Single:    map[string]GraphStats{},
 	}
 	for _, name := range EstimatorNames {
 		m := skg.Model{Init: estimates[name], K: d.K}
-		synth := m.SampleBallDropWorkers(rng.Split(), opts.Workers)
-		res.Single[name] = computeStats(synth, opts, rng.Split())
+		synth, err := m.SampleBallDropCtx(fig, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		res.Single[name], err = computeStatsCtx(fig, synth, opts, rng.Split())
+		if err != nil {
+			return nil, err
+		}
 	}
 	if opts.ExpectedRuns > 0 {
 		res.Expected = map[string]GraphStats{}
 		// The worker budget moves to the realization level here: the
 		// runs fan out across the pool while each run's sampler and
 		// statistics stay single-goroutine, so the total stays within
-		// opts.Workers instead of multiplying the two levels.
-		runOpts := opts
-		runOpts.Workers = 1
+		// the run budget instead of multiplying the two levels.
 		for _, name := range EstimatorNames {
 			m := skg.Model{Init: estimates[name], K: d.K}
 			// Every realization gets its pair of streams derived serially
@@ -148,32 +173,56 @@ func RunFigure(d Dataset, opts FigureOptions) (*FigureResult, error) {
 			// identical for every worker count.
 			type runRngs struct{ sample, stats *randx.Rand }
 			rngs := make([]runRngs, opts.ExpectedRuns)
-			for run := range rngs {
-				rngs[run] = runRngs{sample: rng.Split(), stats: rng.Split()}
+			for r := range rngs {
+				rngs[r] = runRngs{sample: rng.Split(), stats: rng.Split()}
 			}
 			all := make([]GraphStats, opts.ExpectedRuns)
-			parallel.Run(parallel.Workers(opts.Workers), opts.ExpectedRuns, func(run int) {
-				synth := m.SampleBallDropWorkers(rngs[run].sample, 1)
-				all[run] = computeStats(synth, runOpts, rngs[run].stats)
-			})
+			errs := make([]error, opts.ExpectedRuns)
+			// The realizations report no per-run stage events (they would
+			// interleave meaninglessly); the fan-out itself is one stage.
+			doneExp := fig.Stage("expected/" + name)
+			runSolo := pipeline.New(run.Context(), 1, nil)
+			if err := parallel.RunCtx(run.Context(), run.Workers(), opts.ExpectedRuns, func(r int) {
+				synth, err := m.SampleBallDropCtx(runSolo, rngs[r].sample)
+				if err != nil {
+					errs[r] = err
+					return
+				}
+				all[r], errs[r] = computeStatsCtx(runSolo, synth, opts, rngs[r].stats)
+			}); err != nil {
+				return nil, err
+			}
+			for _, err := range errs {
+				if err != nil {
+					return nil, err
+				}
+			}
 			res.Expected[name] = averageStats(all)
+			doneExp()
 		}
 	}
 	return res, nil
 }
 
-// computeStats computes the five panel statistics of one graph.
-func computeStats(g *graph.Graph, opts FigureOptions, rng *randx.Rand) GraphStats {
+// computeStatsCtx computes the five panel statistics of one graph under
+// a pipeline Run.
+func computeStatsCtx(run *pipeline.Run, g *graph.Graph, opts FigureOptions, rng *randx.Rand) (GraphStats, error) {
 	var hop Series
 	if opts.ExactHopPlot {
-		exact := stats.HopPlotWorkers(g, opts.Workers)
+		exact, err := stats.HopPlotCtx(run, g)
+		if err != nil {
+			return GraphStats{}, err
+		}
 		hop = Series{Name: "hop plot"}
 		for h, v := range exact {
 			hop.X = append(hop.X, float64(h))
 			hop.Y = append(hop.Y, float64(v))
 		}
 	} else {
-		approx := anf.HopPlot(g, anf.Options{Trials: opts.ANFTrials, Rng: rng.Split(), Workers: opts.Workers})
+		approx, err := anf.HopPlotCtx(run, g, anf.Options{Trials: opts.ANFTrials, Rng: rng.Split()})
+		if err != nil {
+			return GraphStats{}, err
+		}
 		hop = Series{Name: "hop plot"}
 		for h, v := range approx {
 			hop.X = append(hop.X, float64(h))
@@ -188,14 +237,20 @@ func computeStats(g *graph.Graph, opts FigureOptions, rng *randx.Rand) GraphStat
 		deg.Y = append(deg.Y, p.Value)
 	}
 
-	sv := linalg.ScreeValues(g, opts.ScreeRank, rng.Split())
+	sv, err := linalg.ScreeValuesCtx(run, g, opts.ScreeRank, rng.Split())
+	if err != nil {
+		return GraphStats{}, err
+	}
 	scree := Series{Name: "scree"}
 	for i, v := range sv {
 		scree.X = append(scree.X, float64(i+1))
 		scree.Y = append(scree.Y, v)
 	}
 
-	nv := linalg.NetworkValues(g, rng.Split())
+	nv, err := linalg.NetworkValuesCtx(run, g, rng.Split())
+	if err != nil {
+		return GraphStats{}, err
+	}
 	// Downsample network values to ~64 log-spaced ranks to keep the
 	// series printable; the paper's panel is a log–log curve.
 	net := Series{Name: "network value"}
@@ -204,6 +259,9 @@ func computeStats(g *graph.Graph, opts FigureOptions, rng *randx.Rand) GraphStat
 		net.Y = append(net.Y, nv[idx])
 	}
 
+	if err := run.Err(); err != nil {
+		return GraphStats{}, err
+	}
 	cc := stats.ClusteringByDegree(g)
 	clust := Series{Name: "clustering"}
 	for _, p := range cc {
@@ -211,7 +269,7 @@ func computeStats(g *graph.Graph, opts FigureOptions, rng *randx.Rand) GraphStat
 		clust.Y = append(clust.Y, p.Value)
 	}
 
-	return GraphStats{HopPlot: hop, DegreeDist: deg, Scree: scree, NetValues: net, Clustering: clust}
+	return GraphStats{HopPlot: hop, DegreeDist: deg, Scree: scree, NetValues: net, Clustering: clust}, nil
 }
 
 // logRanks returns up to count distinct indices in [0, n) spaced

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"dpkron/internal/graph"
+	"dpkron/internal/pipeline"
 	"dpkron/internal/randx"
 	"dpkron/internal/skg"
 	"dpkron/internal/smoothsens"
@@ -31,27 +32,58 @@ type SSCompareRow struct {
 // matched to the SKG's realized density, and reports LS and SS_β of the
 // triangle count on both.
 func SmoothSensCompare(init skg.Initiator, ks []int, eps, delta float64, seed uint64) ([]SSCompareRow, error) {
+	return SmoothSensCompareCtx(pipeline.Background(), init, ks, eps, delta, seed)
+}
+
+// SmoothSensCompareCtx is SmoothSensCompare under a pipeline Run: the
+// context is checked between k points and inside each sample and scan,
+// and an "ss-compare" stage reports per-k progress. A run that is never
+// cancelled computes the exact SmoothSensCompare rows.
+func SmoothSensCompareCtx(run *pipeline.Run, init skg.Initiator, ks []int, eps, delta float64, seed uint64) ([]SSCompareRow, error) {
+	done := run.Stage("ss-compare")
 	beta := smoothsens.BetaFor(eps/2, delta)
 	var rows []SSCompareRow
-	for _, k := range ks {
+	for i, k := range ks {
+		if err := run.Err(); err != nil {
+			return nil, err
+		}
+		run.Progress("ss-compare", float64(i)/float64(len(ks)))
 		m, err := skg.NewModel(init, k)
 		if err != nil {
 			return nil, err
 		}
-		g := m.Sample(randx.New(seed + uint64(k)))
+		g, err := m.SampleCtx(run, randx.New(seed+uint64(k)))
+		if err != nil {
+			return nil, err
+		}
 		n := g.NumNodes()
 		p := float64(2*g.NumEdges()) / (float64(n) * float64(n-1))
 		er := graph.Gnp(n, p, randx.New(seed+uint64(k)+500))
-		rows = append(rows, SSCompareRow{
-			K: k, N: n, Edges: g.NumEdges(),
-			LSSkg:  smoothsens.LocalSensitivity(g),
-			LSEr:   smoothsens.LocalSensitivity(er),
-			SSSkg:  smoothsens.Smooth(g, beta),
-			SSEr:   smoothsens.Smooth(er, beta),
-			TriSkg: stats.Triangles(g),
-			TriEr:  stats.Triangles(er),
-		})
+		row := SSCompareRow{K: k, N: n, Edges: g.NumEdges()}
+		for _, side := range []struct {
+			graph *graph.Graph
+			ls    *float64
+			ss    *float64
+			tri   *int64
+		}{
+			{g, &row.LSSkg, &row.SSSkg, &row.TriSkg},
+			{er, &row.LSEr, &row.SSEr, &row.TriEr},
+		} {
+			ls, err := smoothsens.MaxCommonNeighborsCtx(run, side.graph)
+			if err != nil {
+				return nil, err
+			}
+			*side.ls = float64(ls)
+			if *side.ss, err = smoothsens.SmoothCtx(run, side.graph, beta); err != nil {
+				return nil, err
+			}
+			if *side.tri, err = stats.TrianglesCtx(run, side.graph); err != nil {
+				return nil, err
+			}
+		}
+		rows = append(rows, row)
 	}
+	done()
 	return rows, nil
 }
 

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync/atomic"
 
 	"dpkron/internal/core"
 	"dpkron/internal/graph"
 	"dpkron/internal/kronmom"
 	"dpkron/internal/parallel"
+	"dpkron/internal/pipeline"
 	"dpkron/internal/randx"
 	"dpkron/internal/skg"
 	"dpkron/internal/smoothsens"
@@ -36,11 +38,24 @@ func EpsilonSweep(g *graph.Graph, k int, epsilons []float64, delta float64, tria
 // averages reduce trials in index order, so the rows are identical for
 // every worker count.
 func EpsilonSweepWorkers(g *graph.Graph, k int, epsilons []float64, delta float64, trials int, seed uint64, workers int) ([]SweepRow, error) {
-	base, err := kronmom.FitGraph(g, k, kronmom.Options{Rng: randx.New(seed), Workers: workers})
+	return EpsilonSweepCtx(pipeline.New(nil, workers, nil), g, k, epsilons, delta, trials, seed)
+}
+
+// EpsilonSweepCtx is EpsilonSweep under a pipeline Run: the (ε, trial)
+// cell fan-out checks the context between cells, each cell's estimate
+// checks it internally, and a "sweep" stage reports the completed-cell
+// fraction. A run that is never cancelled computes the exact
+// EpsilonSweepWorkers rows; a cancelled run returns run.Err().
+func EpsilonSweepCtx(run *pipeline.Run, g *graph.Graph, k int, epsilons []float64, delta float64, trials int, seed uint64) ([]SweepRow, error) {
+	done := run.Stage("sweep")
+	base, err := kronmom.FitGraphCtx(run, g, k, kronmom.Options{Rng: randx.New(seed)})
 	if err != nil {
 		return nil, err
 	}
-	exact := stats.FeaturesOfWorkers(g, workers)
+	exact, err := stats.FeaturesOfCtx(run, g)
+	if err != nil {
+		return nil, err
+	}
 	type cell struct {
 		pd, fe float64
 		err    error
@@ -49,11 +64,12 @@ func EpsilonSweepWorkers(g *graph.Graph, k int, epsilons []float64, delta float6
 	// The grid almost always has at least as many cells as workers, so
 	// the budget goes to the cell level: each Estimate runs
 	// single-goroutine rather than multiplying the two fan-outs.
-	parallel.Run(parallel.Workers(workers), len(cells), func(i int) {
+	var completed atomic.Int64
+	if err := parallel.RunCtx(run.Context(), run.Workers(), len(cells), func(i int) {
 		eps := epsilons[i/trials]
 		t := i % trials
-		res, err := core.Estimate(g, core.Options{
-			Eps: eps, Delta: delta, K: k, Workers: 1,
+		res, err := core.EstimateCtx(pipeline.New(run.Context(), 1, nil), g, core.Options{
+			Eps: eps, Delta: delta, K: k,
 			Rng: randx.New(seed + uint64(t)*7919 + uint64(math.Float64bits(eps))),
 		})
 		if err != nil {
@@ -61,7 +77,10 @@ func EpsilonSweepWorkers(g *graph.Graph, k int, epsilons []float64, delta float6
 			return
 		}
 		cells[i] = cell{pd: MaxAbsDiff(res.Init, base.Init), fe: relL1(res.Features, exact)}
-	})
+		run.Progress("sweep", float64(completed.Add(1))/float64(len(cells)))
+	}); err != nil {
+		return nil, err
+	}
 	var rows []SweepRow
 	for e := range epsilons {
 		var pd, fe float64
@@ -79,6 +98,7 @@ func EpsilonSweepWorkers(g *graph.Graph, k int, epsilons []float64, delta float6
 			MeanFeatureErr: fe / float64(trials),
 		})
 	}
+	done()
 	return rows, nil
 }
 
@@ -123,17 +143,43 @@ type SSGrowthRow struct {
 // SmoothSensGrowth samples one SKG per k and reports how the smooth
 // sensitivity of the triangle count scales.
 func SmoothSensGrowth(init skg.Initiator, ks []int, eps, delta float64, seed uint64) ([]SSGrowthRow, error) {
+	return SmoothSensGrowthCtx(pipeline.Background(), init, ks, eps, delta, seed)
+}
+
+// SmoothSensGrowthCtx is SmoothSensGrowth under a pipeline Run: the
+// context is checked between k points (and inside each sample and
+// scan), and an "ss-growth" stage reports per-k progress. A run that is
+// never cancelled computes the exact SmoothSensGrowth rows.
+func SmoothSensGrowthCtx(run *pipeline.Run, init skg.Initiator, ks []int, eps, delta float64, seed uint64) ([]SSGrowthRow, error) {
+	done := run.Stage("ss-growth")
 	beta := smoothsens.BetaFor(eps/2, delta)
 	var rows []SSGrowthRow
-	for _, k := range ks {
+	for i, k := range ks {
+		if err := run.Err(); err != nil {
+			return nil, err
+		}
+		run.Progress("ss-growth", float64(i)/float64(len(ks)))
 		m, err := skg.NewModel(init, k)
 		if err != nil {
 			return nil, err
 		}
-		g := m.Sample(randx.New(seed + uint64(k)))
-		tri := stats.Triangles(g)
-		ls := smoothsens.LocalSensitivity(g)
-		ss := smoothsens.Smooth(g, beta)
+		g, err := m.SampleCtx(run, randx.New(seed+uint64(k)))
+		if err != nil {
+			return nil, err
+		}
+		tri, err := stats.TrianglesCtx(run, g)
+		if err != nil {
+			return nil, err
+		}
+		lsInt, err := smoothsens.MaxCommonNeighborsCtx(run, g)
+		if err != nil {
+			return nil, err
+		}
+		ls := float64(lsInt)
+		ss, err := smoothsens.SmoothCtx(run, g, beta)
+		if err != nil {
+			return nil, err
+		}
 		row := SSGrowthRow{
 			K: k, N: g.NumNodes(), Edges: g.NumEdges(),
 			Triangles: tri, LocalSens: ls, SmoothSen: ss,
@@ -143,6 +189,7 @@ func SmoothSensGrowth(init skg.Initiator, ks []int, eps, delta float64, seed uin
 		}
 		rows = append(rows, row)
 	}
+	done()
 	return rows, nil
 }
 

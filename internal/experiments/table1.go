@@ -9,6 +9,7 @@ import (
 	"dpkron/internal/kronfit"
 	"dpkron/internal/kronmom"
 	"dpkron/internal/parallel"
+	"dpkron/internal/pipeline"
 	"dpkron/internal/randx"
 	"dpkron/internal/skg"
 )
@@ -56,18 +57,28 @@ type Table1Row struct {
 // RunTable1Row computes one row on the given (already generated) graph.
 func RunTable1Row(d Dataset, g *graph.Graph, opts Table1Options) (Table1Row, error) {
 	opts.fill()
-	rng := randx.New(opts.Seed ^ d.Seed)
+	return RunTable1RowCtx(pipeline.New(nil, opts.Workers, nil), d, g, opts)
+}
 
-	kf, err := kronfit.Fit(g, kronfit.Options{K: d.K, Iters: opts.KronFitIters, Rng: rng.Split(), Workers: opts.Workers})
+// RunTable1RowCtx is RunTable1Row under a pipeline Run: the three
+// estimators run under run's context and worker budget (opts.Workers is
+// ignored), each emitting its stage events under a "table1/<dataset>"
+// prefix.
+func RunTable1RowCtx(run *pipeline.Run, d Dataset, g *graph.Graph, opts Table1Options) (Table1Row, error) {
+	opts.fill()
+	rng := randx.New(opts.Seed ^ d.Seed)
+	sub := run.Sub("table1/" + d.Name)
+
+	kf, err := kronfit.FitCtx(sub, g, kronfit.Options{K: d.K, Iters: opts.KronFitIters, Rng: rng.Split()})
 	if err != nil {
 		return Table1Row{}, fmt.Errorf("kronfit on %s: %w", d.Name, err)
 	}
-	km, err := kronmom.FitGraph(g, d.K, kronmom.Options{Rng: rng.Split(), Workers: opts.Workers})
+	km, err := kronmom.FitGraphCtx(sub, g, d.K, kronmom.Options{Rng: rng.Split()})
 	if err != nil {
 		return Table1Row{}, fmt.Errorf("kronmom on %s: %w", d.Name, err)
 	}
-	pr, err := core.Estimate(g, core.Options{
-		Eps: opts.Eps, Delta: opts.Delta, K: d.K, Rng: rng.Split(), Workers: opts.Workers,
+	pr, err := core.EstimateCtx(sub, g, core.Options{
+		Eps: opts.Eps, Delta: opts.Delta, K: d.K, Rng: rng.Split(),
 	})
 	if err != nil {
 		return Table1Row{}, fmt.Errorf("private on %s: %w", d.Name, err)
@@ -87,24 +98,46 @@ func RunTable1(opts Table1Options) ([]Table1Row, error) {
 	return RunTable1Datasets(Registry(), opts)
 }
 
+// RunTable1Ctx is RunTable1 under a pipeline Run.
+func RunTable1Ctx(run *pipeline.Run, opts Table1Options) ([]Table1Row, error) {
+	return RunTable1DatasetsCtx(run, Registry(), opts)
+}
+
 // RunTable1Datasets computes one table row per dataset. The rows are
 // independent (each derives its randomness from its dataset seed), so
 // they run concurrently with the worker budget divided between the
 // row fan-out and each row's internal sharding; results keep dataset
 // order and are identical for every worker count.
 func RunTable1Datasets(reg []Dataset, opts Table1Options) ([]Table1Row, error) {
-	w := parallel.Workers(opts.Workers)
-	rowOpts := opts
-	rowOpts.Workers = 1
+	return RunTable1DatasetsCtx(pipeline.New(nil, opts.Workers, nil), reg, opts)
+}
+
+// RunTable1DatasetsCtx is RunTable1Datasets under a pipeline Run: the
+// row fan-out checks the context between datasets and each row's
+// estimators check it internally (opts.Workers is ignored in favour of
+// run's budget). A run that is never cancelled renders the exact
+// RunTable1Datasets rows; a cancelled run returns run.Err().
+func RunTable1DatasetsCtx(run *pipeline.Run, reg []Dataset, opts Table1Options) ([]Table1Row, error) {
+	w := run.Workers()
+	rowWorkers := 1
 	if len(reg) > 0 && w/len(reg) > 1 {
-		rowOpts.Workers = w / len(reg)
+		rowWorkers = w / len(reg)
 	}
 	rows := make([]Table1Row, len(reg))
 	errs := make([]error, len(reg))
-	parallel.Run(w, len(reg), func(i int) {
-		g := reg[i].GenerateWorkers(rowOpts.Workers)
-		rows[i], errs[i] = RunTable1Row(reg[i], g, rowOpts)
-	})
+	if err := parallel.RunCtx(run.Context(), w, len(reg), func(i int) {
+		// The per-row budget travels via the Run (RunTable1RowCtx
+		// ignores opts.Workers).
+		rowRun := run.WithWorkers(rowWorkers)
+		g, err := reg[i].GenerateCtx(rowRun)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		rows[i], errs[i] = RunTable1RowCtx(rowRun, reg[i], g, opts)
+	}); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

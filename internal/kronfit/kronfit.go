@@ -29,6 +29,7 @@ import (
 
 	"dpkron/internal/graph"
 	"dpkron/internal/parallel"
+	"dpkron/internal/pipeline"
 	"dpkron/internal/randx"
 	"dpkron/internal/skg"
 )
@@ -72,7 +73,8 @@ type Options struct {
 	// Workers bounds the goroutines used for the per-edge likelihood and
 	// gradient sums (the Metropolis chain itself is sequential); <= 0
 	// selects runtime.GOMAXPROCS(0). The fixed-shard ordered reduction
-	// makes the fit identical for every worker count.
+	// makes the fit identical for every worker count. FitCtx ignores
+	// this field: the pipeline Run's budget is authoritative.
 	Workers int
 }
 
@@ -402,17 +404,34 @@ func (s *state) metropolis(count int, rng *randx.Rand) {
 // Fit estimates the initiator by stochastic gradient ascent over the
 // permutation-sampled likelihood. The returned initiator is canonical.
 func Fit(g *graph.Graph, opts Options) (Result, error) {
+	return FitCtx(pipeline.New(nil, opts.Workers, nil), g, opts)
+}
+
+// FitCtx is Fit under a pipeline Run: the worker budget comes from run
+// (opts.Workers is ignored), the context is checked once per gradient
+// iteration, and a "kronfit" stage emits start/done events plus an
+// incremental progress fraction per iteration. A run that is never
+// cancelled fits the exact Fit result for the same options; a cancelled
+// run returns run.Err().
+func FitCtx(run *pipeline.Run, g *graph.Graph, opts Options) (Result, error) {
 	if err := opts.fill(g.NumNodes()); err != nil {
 		return Result{}, err
 	}
 	clamp := func(x float64) float64 {
 		return math.Min(opts.MaxParam, math.Max(opts.MinParam, x))
 	}
+	done := run.Stage("kronfit")
 	init := skg.Initiator{A: clamp(opts.Init.A), B: clamp(opts.Init.B), C: clamp(opts.Init.C)}
 	s := newState(g, opts.K, init, opts.Rng)
-	s.workers = parallel.Workers(opts.Workers)
+	s.workers = run.Workers()
 	seedPerm := append([]int(nil), s.sigma...)
 	for t := 0; t < opts.Iters; t++ {
+		if err := run.Err(); err != nil {
+			return Result{}, err
+		}
+		if t > 0 {
+			run.Progress("kronfit", float64(t)/float64(opts.Iters))
+		}
 		if opts.resetPerm {
 			copy(s.sigma, seedPerm)
 		}
@@ -439,12 +458,17 @@ func Fit(g *graph.Graph, opts Options) (Result, error) {
 			C: clamp(s.theta.C + step*gc/norm),
 		})
 	}
-	return Result{
+	if err := run.Err(); err != nil {
+		return Result{}, err
+	}
+	res := Result{
 		Init:          s.theta.Canonical(),
 		K:             opts.K,
 		LogLikelihood: s.ll(),
 		Iters:         opts.Iters,
-	}, nil
+	}
+	done()
+	return res, nil
 }
 
 // LogLikelihood returns the approximate log-likelihood of g under the
@@ -456,6 +480,6 @@ func LogLikelihood(g *graph.Graph, k int, init skg.Initiator, rng *randx.Rand) (
 		return 0, err
 	}
 	s := newState(g, opts.K, opts.Init, rng)
-	s.workers = parallel.Workers(opts.Workers)
+	s.workers = parallel.Normalize(opts.Workers)
 	return s.ll(), nil
 }

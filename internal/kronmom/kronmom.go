@@ -16,6 +16,7 @@ import (
 
 	"dpkron/internal/graph"
 	"dpkron/internal/optimize"
+	"dpkron/internal/pipeline"
 	"dpkron/internal/randx"
 	"dpkron/internal/skg"
 	"dpkron/internal/stats"
@@ -171,7 +172,8 @@ type Options struct {
 	// Workers bounds the goroutines used for the multistart descents and
 	// the feature counting in FitGraph; <= 0 selects
 	// runtime.GOMAXPROCS(0). The fitted initiator is identical for every
-	// worker count.
+	// worker count. The Ctx variants ignore this field: the pipeline
+	// Run's budget is authoritative.
 	Workers int
 }
 
@@ -205,20 +207,34 @@ type Estimate struct {
 // Fit estimates the initiator whose expected features match obs at
 // Kronecker power k. The returned initiator is canonical (A >= C).
 func Fit(obs stats.Features, k int, opts Options) (Estimate, error) {
+	return FitCtx(pipeline.New(nil, opts.Workers, nil), obs, k, opts)
+}
+
+// FitCtx is Fit under a pipeline Run: the worker budget comes from run
+// (opts.Workers is ignored), a "kronmom" stage event pair is emitted,
+// and cancellation aborts the multistart descent with run.Err(). A run
+// that is never cancelled fits the exact estimate Fit produces for the
+// same options.
+func FitCtx(run *pipeline.Run, obs stats.Features, k int, opts Options) (Estimate, error) {
 	if err := opts.fill(); err != nil {
 		return Estimate{}, err
 	}
 	if k < 1 || k > 30 {
 		return Estimate{}, fmt.Errorf("kronmom: k = %d outside [1, 30]", k)
 	}
+	done := run.Stage("kronmom")
 	f := func(x []float64) float64 {
 		return opts.Objective.Eval(obs, k, skg.Initiator{A: x[0], B: x[1], C: x[2]})
 	}
 	lo := []float64{0, 0, 0}
 	hi := []float64{1, 1, 1}
-	res := optimize.MultiStartWorkers(f, lo, hi, opts.RandomStarts, opts.GridPoints, opts.Rng,
-		optimize.NelderMeadOptions{MaxIter: opts.MaxIter, Step: 0.08}, opts.Workers)
+	res, err := optimize.MultiStartCtx(run.Context(), f, lo, hi, opts.RandomStarts, opts.GridPoints, opts.Rng,
+		optimize.NelderMeadOptions{MaxIter: opts.MaxIter, Step: 0.08}, run.Workers())
+	if err != nil {
+		return Estimate{}, err
+	}
 	init := skg.Initiator{A: res.X[0], B: res.X[1], C: res.X[2]}.Canonical()
+	done()
 	return Estimate{Init: init, K: k, Objective: res.F, Evals: res.Evals}, nil
 }
 
@@ -226,10 +242,21 @@ func Fit(obs stats.Features, k int, opts Options) (Estimate, error) {
 // k = ceil(log2(NumNodes)) unless k > 0 is given. This is the
 // non-private KronMom baseline of Table 1.
 func FitGraph(g *graph.Graph, k int, opts Options) (Estimate, error) {
+	return FitGraphCtx(pipeline.New(nil, opts.Workers, nil), g, k, opts)
+}
+
+// FitGraphCtx is FitGraph under a pipeline Run: the feature counting
+// and the moment fit share run's context and worker budget, and each
+// emits its own stage events.
+func FitGraphCtx(run *pipeline.Run, g *graph.Graph, k int, opts Options) (Estimate, error) {
 	if k <= 0 {
 		k = KForNodes(g.NumNodes())
 	}
-	return Fit(stats.FeaturesOfWorkers(g, opts.Workers), k, opts)
+	feats, err := stats.FeaturesOfCtx(run, g)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return FitCtx(run, feats, k, opts)
 }
 
 // KForNodes returns the smallest k with 2^k >= n (minimum 1).

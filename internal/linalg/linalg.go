@@ -11,10 +11,12 @@
 package linalg
 
 import (
+	"context"
 	"math"
 	"sort"
 
 	"dpkron/internal/graph"
+	"dpkron/internal/pipeline"
 	"dpkron/internal/randx"
 )
 
@@ -67,9 +69,18 @@ func (d DenseOp) Apply(dst, src []float64) {
 // Dim). The companion Ritz vectors are not returned; use PowerIteration
 // for the principal eigenvector.
 func TopEigen(op MatVec, k, iters int, rng *randx.Rand) []float64 {
+	eig, _ := TopEigenCtx(nil, op, k, iters, rng)
+	return eig
+}
+
+// TopEigenCtx is TopEigen with cooperative cancellation checked once
+// per Lanczos step. A nil or never-cancelled context yields exactly the
+// TopEigen result (the start vector is drawn before any step, so a
+// completed run consumed the same rng draws).
+func TopEigenCtx(ctx context.Context, op MatVec, k, iters int, rng *randx.Rand) ([]float64, error) {
 	n := op.Dim()
 	if n == 0 || k <= 0 {
-		return nil
+		return nil, nil
 	}
 	if k > n {
 		k = n
@@ -84,19 +95,26 @@ func TopEigen(op MatVec, k, iters int, rng *randx.Rand) []float64 {
 	if m > n {
 		m = n
 	}
-	alpha, beta, _ := lanczos(op, m, rng)
+	alpha, beta, _, err := lanczos(ctx, op, m, rng)
+	if err != nil {
+		return nil, err
+	}
 	ritz := tridiagEigenvalues(alpha, beta)
 	sort.Slice(ritz, func(i, j int) bool { return math.Abs(ritz[i]) > math.Abs(ritz[j]) })
 	if len(ritz) > k {
 		ritz = ritz[:k]
 	}
-	return ritz
+	return ritz, nil
 }
 
 // lanczos runs m steps with full reorthogonalization, returning the
 // tridiagonal coefficients and the Lanczos basis. It stops early on
-// breakdown (invariant subspace found).
-func lanczos(op MatVec, m int, rng *randx.Rand) (alpha, beta []float64, basis [][]float64) {
+// breakdown (invariant subspace found) and checks ctx (when non-nil
+// with a cancellation signal) before each step.
+func lanczos(ctx context.Context, op MatVec, m int, rng *randx.Rand) (alpha, beta []float64, basis [][]float64, err error) {
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil
+	}
 	n := op.Dim()
 	v := make([]float64, n)
 	for i := range v {
@@ -106,6 +124,11 @@ func lanczos(op MatVec, m int, rng *randx.Rand) (alpha, beta []float64, basis []
 	w := make([]float64, n)
 	basis = append(basis, append([]float64(nil), v...))
 	for j := 0; j < m; j++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, nil, err
+			}
+		}
 		op.Apply(w, basis[j])
 		a := dot(w, basis[j])
 		alpha = append(alpha, a)
@@ -122,7 +145,7 @@ func lanczos(op MatVec, m int, rng *randx.Rand) (alpha, beta []float64, basis []
 		}
 		b := math.Sqrt(dot(w, w))
 		if b < 1e-12 || j == m-1 {
-			return alpha, beta, basis
+			return alpha, beta, basis, nil
 		}
 		beta = append(beta, b)
 		next := make([]float64, n)
@@ -131,7 +154,7 @@ func lanczos(op MatVec, m int, rng *randx.Rand) (alpha, beta []float64, basis []
 		}
 		basis = append(basis, next)
 	}
-	return alpha, beta, basis
+	return alpha, beta, basis, nil
 }
 
 // tridiagEigenvalues computes all eigenvalues of the symmetric
@@ -199,9 +222,20 @@ func tridiagEigenvalues(alpha, beta []float64) []float64 {
 // oscillates. It returns the eigenvalue of op (shift removed) and the
 // unit eigenvector. tol defaults to 1e-10 when 0; maxIter to 1000.
 func PowerIteration(op MatVec, shift, tol float64, maxIter int, rng *randx.Rand) (float64, []float64) {
+	lambda, v, _ := PowerIterationCtx(nil, op, shift, tol, maxIter, rng)
+	return lambda, v
+}
+
+// PowerIterationCtx is PowerIteration with cooperative cancellation
+// checked once per iteration. A nil or never-cancelled context yields
+// exactly the PowerIteration result.
+func PowerIterationCtx(ctx context.Context, op MatVec, shift, tol float64, maxIter int, rng *randx.Rand) (float64, []float64, error) {
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil
+	}
 	n := op.Dim()
 	if n == 0 {
-		return 0, nil
+		return 0, nil, nil
 	}
 	if tol <= 0 {
 		tol = 1e-10
@@ -217,6 +251,11 @@ func PowerIteration(op MatVec, shift, tol float64, maxIter int, rng *randx.Rand)
 	w := make([]float64, n)
 	var lambda float64
 	for it := 0; it < maxIter; it++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return 0, nil, err
+			}
+		}
 		op.Apply(w, v)
 		if shift != 0 {
 			axpy(w, v, shift)
@@ -224,7 +263,7 @@ func PowerIteration(op MatVec, shift, tol float64, maxIter int, rng *randx.Rand)
 		next := dot(w, v) - shift // Rayleigh quotient of op
 		norm := math.Sqrt(dot(w, w))
 		if norm == 0 {
-			return 0, v
+			return 0, v, nil
 		}
 		for i := range v {
 			v[i] = w[i] / norm
@@ -235,33 +274,61 @@ func PowerIteration(op MatVec, shift, tol float64, maxIter int, rng *randx.Rand)
 		}
 		lambda = next
 	}
-	return lambda, v
+	return lambda, v, nil
 }
 
 // NetworkValues returns the absolute components of the principal
 // (Perron) eigenvector sorted descending — the series plotted in the
 // paper's "network value" panels.
 func NetworkValues(g *graph.Graph, rng *randx.Rand) []float64 {
+	out, _ := NetworkValuesCtx(nil, g, rng)
+	return out
+}
+
+// NetworkValuesCtx is NetworkValues under a pipeline Run: the power
+// iteration checks the context once per iteration and a "network-values"
+// stage event pair is emitted. A nil or never-cancelled run yields
+// exactly the NetworkValues series.
+func NetworkValuesCtx(run *pipeline.Run, g *graph.Graph, rng *randx.Rand) ([]float64, error) {
+	done := run.Stage("network-values")
 	shift := float64(g.MaxDegree())
-	_, vec := PowerIteration(AdjacencyOp{G: g}, shift, 1e-9, 2000, rng)
+	_, vec, err := PowerIterationCtx(run.Context(), AdjacencyOp{G: g}, shift, 1e-9, 2000, rng)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]float64, len(vec))
 	for i, x := range vec {
 		out[i] = math.Abs(x)
 	}
 	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
-	return out
+	done()
+	return out, nil
 }
 
 // ScreeValues returns the top-k singular values of the adjacency matrix
 // of g (for symmetric matrices, |eigenvalues|), sorted descending.
 func ScreeValues(g *graph.Graph, k int, rng *randx.Rand) []float64 {
-	eig := TopEigen(AdjacencyOp{G: g}, k, 0, rng)
+	out, _ := ScreeValuesCtx(nil, g, k, rng)
+	return out
+}
+
+// ScreeValuesCtx is ScreeValues under a pipeline Run: the Lanczos
+// iteration checks the context once per step and a "scree" stage event
+// pair is emitted. A nil or never-cancelled run yields exactly the
+// ScreeValues series.
+func ScreeValuesCtx(run *pipeline.Run, g *graph.Graph, k int, rng *randx.Rand) ([]float64, error) {
+	done := run.Stage("scree")
+	eig, err := TopEigenCtx(run.Context(), AdjacencyOp{G: g}, k, 0, rng)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]float64, len(eig))
 	for i, x := range eig {
 		out[i] = math.Abs(x)
 	}
 	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
-	return out
+	done()
+	return out, nil
 }
 
 // JacobiEigen computes all eigenvalues of a dense symmetric matrix with

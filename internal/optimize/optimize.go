@@ -6,6 +6,7 @@
 package optimize
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -56,7 +57,20 @@ func (o *NelderMeadOptions) fill() {
 // reflection/expansion/contraction/shrink simplex method
 // (coefficients 1, 2, 0.5, 0.5).
 func NelderMead(f Func, x0 []float64, opts NelderMeadOptions) Result {
+	res, _ := NelderMeadCtx(nil, f, x0, opts)
+	return res
+}
+
+// NelderMeadCtx is NelderMead with cooperative cancellation checked
+// once per simplex iteration: a cancelled context stops the descent and
+// returns ctx.Err() together with the best point seen so far (which the
+// caller must treat as unusable). A nil or never-cancelled context
+// yields exactly the NelderMead result.
+func NelderMeadCtx(ctx context.Context, f Func, x0 []float64, opts NelderMeadOptions) (Result, error) {
 	opts.fill()
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil
+	}
 	d := len(x0)
 	evals := 0
 	eval := func(x []float64) float64 {
@@ -79,7 +93,14 @@ func NelderMead(f Func, x0 []float64, opts NelderMeadOptions) Result {
 	trial := make([]float64, d)
 	trial2 := make([]float64, d)
 	converged := false
+	var ctxErr error
 	for iter := 0; iter < opts.MaxIter; iter++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				ctxErr = err
+				break
+			}
+		}
 		for i := range order {
 			order[i] = i
 		}
@@ -164,7 +185,7 @@ func NelderMead(f Func, x0 []float64, opts NelderMeadOptions) Result {
 			bi = i
 		}
 	}
-	return Result{X: append([]float64(nil), simplex[bi]...), F: fvals[bi], Evals: evals, Converged: converged}
+	return Result{X: append([]float64(nil), simplex[bi]...), F: fvals[bi], Evals: evals, Converged: converged}, ctxErr
 }
 
 // Clamp projects x into the box [lo, hi] componentwise, in place.
@@ -182,6 +203,17 @@ func Clamp(x, lo, hi []float64) {
 // GridSearch evaluates f on a regular grid with the given number of
 // points per axis (inclusive of bounds) and returns the best point.
 func GridSearch(f Func, lo, hi []float64, pointsPerAxis int) Result {
+	res, _ := GridSearchCtx(nil, f, lo, hi, pointsPerAxis)
+	return res
+}
+
+// GridSearchCtx is GridSearch with cooperative cancellation checked
+// every 256 evaluations. A nil or never-cancelled context yields
+// exactly the GridSearch result.
+func GridSearchCtx(ctx context.Context, f Func, lo, hi []float64, pointsPerAxis int) (Result, error) {
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil
+	}
 	d := len(lo)
 	if pointsPerAxis < 2 {
 		pointsPerAxis = 2
@@ -191,6 +223,11 @@ func GridSearch(f Func, lo, hi []float64, pointsPerAxis int) Result {
 	best := Result{F: math.Inf(1)}
 	evals := 0
 	for {
+		if ctx != nil && evals&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return best, err
+			}
+		}
 		for j := 0; j < d; j++ {
 			x[j] = lo[j] + (hi[j]-lo[j])*float64(idx[j])/float64(pointsPerAxis-1)
 		}
@@ -216,7 +253,7 @@ func GridSearch(f Func, lo, hi []float64, pointsPerAxis int) Result {
 	best.Evals = evals
 	best.Converged = true
 	best.X = append([]float64(nil), best.X...)
-	return best
+	return best, nil
 }
 
 // MultiStart runs Nelder–Mead from the grid-search optimum and from
@@ -237,6 +274,16 @@ func MultiStart(f Func, lo, hi []float64, randomStarts, gridPoints int, rng *ran
 // count, including the serial MultiStart. f must be safe for concurrent
 // calls.
 func MultiStartWorkers(f Func, lo, hi []float64, randomStarts, gridPoints int, rng *randx.Rand, nm NelderMeadOptions, workers int) Result {
+	res, _ := MultiStartCtx(nil, f, lo, hi, randomStarts, gridPoints, rng, nm, workers)
+	return res
+}
+
+// MultiStartCtx is MultiStartWorkers with cooperative cancellation: the
+// seeding grid search checks the context periodically, the concurrent
+// descents check it between simplex iterations and between starts, and
+// a cancelled context makes the whole call return ctx.Err(). A nil or
+// never-cancelled context yields exactly the MultiStartWorkers result.
+func MultiStartCtx(ctx context.Context, f Func, lo, hi []float64, randomStarts, gridPoints int, rng *randx.Rand, nm NelderMeadOptions, workers int) (Result, error) {
 	boxed := func(x []float64) float64 {
 		penalty := 0.0
 		y := make([]float64, len(x))
@@ -253,7 +300,10 @@ func MultiStartWorkers(f Func, lo, hi []float64, randomStarts, gridPoints int, r
 		}
 		return f(y)*(1+penalty) + penalty
 	}
-	seed := GridSearch(f, lo, hi, gridPoints)
+	seed, err := GridSearchCtx(ctx, f, lo, hi, gridPoints)
+	if err != nil {
+		return Result{}, err
+	}
 	// Start points: the grid optimum first, then the random restarts,
 	// drawn serially so the points do not depend on scheduling.
 	starts := make([][]float64, 1+randomStarts)
@@ -266,9 +316,22 @@ func MultiStartWorkers(f Func, lo, hi []float64, randomStarts, gridPoints int, r
 		starts[s] = x0
 	}
 	results := make([]Result, len(starts))
-	parallel.Run(parallel.Workers(workers), len(starts), func(s int) {
-		results[s] = NelderMead(boxed, starts[s], nm)
+	runErr := parallel.RunCtx(ctx, parallel.Normalize(workers), len(starts), func(s int) {
+		// A descent that observes cancellation returns early; its
+		// partial result is discarded below via the shared context
+		// error, so the per-start error can be dropped here.
+		results[s], _ = NelderMeadCtx(ctx, boxed, starts[s], nm)
 	})
+	if runErr != nil {
+		return Result{}, runErr
+	}
+	if ctx != nil {
+		// A descent may have aborted mid-run without RunCtx noticing
+		// (the shard itself completed); reject the fan-out wholesale.
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+	}
 	best := results[0]
 	evals := seed.Evals + results[0].Evals
 	for _, r := range results[1:] {
@@ -280,5 +343,5 @@ func MultiStartWorkers(f Func, lo, hi []float64, randomStarts, gridPoints int, r
 	best.Evals = evals
 	Clamp(best.X, lo, hi)
 	best.F = f(best.X)
-	return best
+	return best, nil
 }

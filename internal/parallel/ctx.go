@@ -1,0 +1,311 @@
+package parallel
+
+// Context-aware variants of the pool helpers. Cancellation is
+// cooperative and shard-grained: workers check the context between
+// shards (never inside fn), so a live context costs one Err() call per
+// shard and a cancelled one stops the pool at the next shard boundary.
+// When the context is nil or carries no cancellation signal
+// (Done() == nil, e.g. context.Background()), every variant delegates
+// to its plain counterpart and costs nothing extra.
+//
+// The determinism rules of the package are unaffected: a run that
+// completes (returns nil) executed exactly the shard set of the plain
+// helper, so its result is bit-identical for every worker count. A run
+// that observed cancellation returns ctx.Err() and its partial output
+// must be discarded.
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// RunCtx is Run with cooperative cancellation: it returns nil after all
+// shards executed, or ctx.Err() if cancellation was observed before
+// some claimed shard ran (that shard and any unclaimed ones are
+// skipped).
+func RunCtx(ctx context.Context, workers, shards int, fn func(shard int)) error {
+	if ctx == nil || ctx.Done() == nil {
+		Run(workers, shards, fn)
+		return nil
+	}
+	if shards <= 0 {
+		return ctx.Err()
+	}
+	if workers > shards {
+		workers = shards
+	}
+	if workers <= 1 {
+		for s := 0; s < shards; s++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(s)
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var aborted atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= shards {
+					return
+				}
+				if ctx.Err() != nil {
+					aborted.Store(true)
+					return
+				}
+				fn(s)
+			}
+		}()
+	}
+	wg.Wait()
+	if aborted.Load() {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// RunIndexedCtx is RunIndexed with the cancellation contract of RunCtx.
+func RunIndexedCtx(ctx context.Context, workers, shards int, fn func(worker, shard int)) error {
+	if ctx == nil || ctx.Done() == nil {
+		RunIndexed(workers, shards, fn)
+		return nil
+	}
+	if shards <= 0 {
+		return ctx.Err()
+	}
+	if workers > shards {
+		workers = shards
+	}
+	if workers <= 1 {
+		for s := 0; s < shards; s++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(0, s)
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var aborted atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= shards {
+					return
+				}
+				if ctx.Err() != nil {
+					aborted.Store(true)
+					return
+				}
+				fn(worker, s)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if aborted.Load() {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// ForBlocksCtx is ForBlocks with the cancellation contract of RunCtx.
+func ForBlocksCtx(ctx context.Context, workers, n int, fn func(shard, lo, hi int)) error {
+	blocks := Blocks(n, DefaultShards)
+	return RunCtx(ctx, workers, len(blocks), func(s int) { fn(s, blocks[s].Lo, blocks[s].Hi) })
+}
+
+// SumInt64Ctx is SumInt64 with the cancellation contract of RunCtx; the
+// partial sum of a cancelled run is not returned.
+func SumInt64Ctx(ctx context.Context, workers, n int, fn func(lo, hi int) int64) (int64, error) {
+	blocks := Blocks(n, DefaultShards)
+	part := make([]int64, len(blocks))
+	if err := RunCtx(ctx, workers, len(blocks), func(s int) { part[s] = fn(blocks[s].Lo, blocks[s].Hi) }); err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, p := range part {
+		total += p
+	}
+	return total, nil
+}
+
+// SumFloat64Ctx is SumFloat64 with the cancellation contract of RunCtx.
+// A completed sum reduces the per-shard partials in shard order, so it
+// is bit-identical to the plain helper for every worker count.
+func SumFloat64Ctx(ctx context.Context, workers, n int, fn func(lo, hi int) float64) (float64, error) {
+	blocks := Blocks(n, DefaultShards)
+	part := make([]float64, len(blocks))
+	if err := RunCtx(ctx, workers, len(blocks), func(s int) { part[s] = fn(blocks[s].Lo, blocks[s].Hi) }); err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, p := range part {
+		total += p
+	}
+	return total, nil
+}
+
+// SortInt64Ctx is SortInt64 with cooperative cancellation between radix
+// passes (each pass is O(n)) and between the shards of the parallel
+// passes. On cancellation the keys are left partially sorted and
+// ctx.Err() is returned; a nil error means keys is fully sorted,
+// bit-identically to the plain SortInt64.
+func SortInt64Ctx(ctx context.Context, workers int, keys, scratch []int64) ([]int64, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return SortInt64(workers, keys, scratch), nil
+	}
+	n := len(keys)
+	if cap(scratch) < n {
+		scratch = make([]int64, n)
+	}
+	scratch = scratch[:n]
+	if err := ctx.Err(); err != nil {
+		return scratch, err
+	}
+	if n <= insertionMax {
+		insertionSortInt64(keys)
+		return scratch, nil
+	}
+	w := Normalize(workers)
+	if w <= 1 || n < radixSerialMin {
+		return scratch, radixSortSerialCtx(ctx, keys, scratch)
+	}
+	return scratch, radixSortParallelCtx(ctx, w, keys, scratch)
+}
+
+// radixSortSerialCtx mirrors radixSortSerial with a context check
+// before each digit pass.
+func radixSortSerialCtx(ctx context.Context, keys, scratch []int64) error {
+	var or uint64
+	and := ^uint64(0)
+	for _, k := range keys {
+		or |= uint64(k)
+		and &= uint64(k)
+	}
+	active := activeDigits(or, and)
+	src, dst := keys, scratch
+	var count [radixBuckets]int
+	for d := 0; d < 8; d++ {
+		if active&(1<<d) == 0 {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			if &src[0] != &keys[0] {
+				copy(keys, src)
+			}
+			return err
+		}
+		shift := 8 * uint(d)
+		for i := range count {
+			count[i] = 0
+		}
+		for _, k := range src {
+			count[byte(uint64(k)>>shift)]++
+		}
+		total := 0
+		for b := 0; b < radixBuckets; b++ {
+			c := count[b]
+			count[b] = total
+			total += c
+		}
+		for _, k := range src {
+			b := byte(uint64(k) >> shift)
+			dst[count[b]] = k
+			count[b]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &keys[0] {
+		copy(keys, src)
+	}
+	return nil
+}
+
+// radixSortParallelCtx mirrors radixSortParallel; the histogram and
+// scatter fan-outs of each pass check the context between shards via
+// RunCtx, and a pass whose fan-out aborted stops the sort.
+func radixSortParallelCtx(ctx context.Context, workers int, keys, scratch []int64) error {
+	n := len(keys)
+	blocks := Blocks(n, DefaultShards)
+	S := len(blocks)
+	ors := make([]uint64, S)
+	ands := make([]uint64, S)
+	if err := RunCtx(ctx, workers, S, func(s int) {
+		var or uint64
+		and := ^uint64(0)
+		for _, k := range keys[blocks[s].Lo:blocks[s].Hi] {
+			or |= uint64(k)
+			and &= uint64(k)
+		}
+		ors[s], ands[s] = or, and
+	}); err != nil {
+		return err
+	}
+	var or uint64
+	and := ^uint64(0)
+	for s := 0; s < S; s++ {
+		or |= ors[s]
+		and &= ands[s]
+	}
+	active := activeDigits(or, and)
+
+	src, dst := keys, scratch
+	hist := make([]int, S*radixBuckets)
+	restore := func() {
+		if &src[0] != &keys[0] {
+			copy(keys, src)
+		}
+	}
+	for d := 0; d < 8; d++ {
+		if active&(1<<d) == 0 {
+			continue
+		}
+		shift := 8 * uint(d)
+		if err := RunCtx(ctx, workers, S, func(s int) {
+			h := hist[s*radixBuckets : (s+1)*radixBuckets]
+			for i := range h {
+				h[i] = 0
+			}
+			for _, k := range src[blocks[s].Lo:blocks[s].Hi] {
+				h[byte(uint64(k)>>shift)]++
+			}
+		}); err != nil {
+			restore()
+			return err
+		}
+		total := 0
+		for b := 0; b < radixBuckets; b++ {
+			for s := 0; s < S; s++ {
+				idx := s*radixBuckets + b
+				c := hist[idx]
+				hist[idx] = total
+				total += c
+			}
+		}
+		// The scatter must run to completion once started: an aborted
+		// scatter would leave dst holding a mix of old and new keys. A
+		// single context check gates the whole pass instead.
+		Run(workers, S, func(s int) {
+			h := hist[s*radixBuckets : (s+1)*radixBuckets]
+			for _, k := range src[blocks[s].Lo:blocks[s].Hi] {
+				b := byte(uint64(k) >> shift)
+				dst[h[b]] = k
+				h[b]++
+			}
+		})
+		src, dst = dst, src
+	}
+	restore()
+	return nil
+}

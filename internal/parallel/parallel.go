@@ -40,9 +40,11 @@ import (
 // buffers) to a constant.
 const DefaultShards = 64
 
-// Workers resolves a worker-count option: values <= 0 select
-// runtime.GOMAXPROCS(0), i.e. "use the hardware".
-func Workers(n int) int {
+// Normalize resolves a worker-count option: values <= 0 select
+// runtime.GOMAXPROCS(0), i.e. "use the hardware". It is the single
+// defaulting rule for every Workers field in the module's Options
+// structs and for pipeline.Run worker budgets.
+func Normalize(n int) int {
 	if n <= 0 {
 		return runtime.GOMAXPROCS(0)
 	}

@@ -7,11 +7,11 @@ import (
 	"dpkron/internal/randx"
 )
 
-func TestWorkersResolution(t *testing.T) {
-	if Workers(4) != 4 {
+func TestNormalizeResolution(t *testing.T) {
+	if Normalize(4) != 4 {
 		t.Fatal("explicit worker count not honoured")
 	}
-	if Workers(0) < 1 || Workers(-3) < 1 {
+	if Normalize(0) < 1 || Normalize(-3) < 1 {
 		t.Fatal("default worker count must be >= 1")
 	}
 }

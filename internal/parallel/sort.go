@@ -42,7 +42,7 @@ func SortInt64(workers int, keys, scratch []int64) []int64 {
 		insertionSortInt64(keys)
 		return scratch
 	}
-	w := Workers(workers)
+	w := Normalize(workers)
 	if w <= 1 || n < radixSerialMin {
 		radixSortSerial(keys, scratch)
 		return scratch

@@ -1,0 +1,371 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"dpkron/internal/core"
+	"dpkron/internal/graph"
+	"dpkron/internal/kronfit"
+	"dpkron/internal/kronmom"
+	"dpkron/internal/pipeline"
+	"dpkron/internal/randx"
+	"dpkron/internal/skg"
+	"dpkron/internal/stats"
+	"strconv"
+)
+
+// FitRequest is the body of POST /v1/fit. The graph arrives either as
+// an explicit pair list (Edges, with Nodes optionally raising the node
+// count) or as SNAP edge-list text (EdgeList); exactly one is required.
+type FitRequest struct {
+	// Method selects the estimator: "private" (default), "mom", "mle".
+	Method string `json:"method"`
+	// Eps/Delta are the privacy budget for method "private"
+	// (defaults 0.2, 0.01).
+	Eps   float64 `json:"eps"`
+	Delta float64 `json:"delta"`
+	// K is the Kronecker power; 0 infers the smallest adequate power.
+	K int `json:"k"`
+	// Seed drives all estimator randomness (default 1); resubmitting an
+	// identical request yields an identical result.
+	Seed uint64 `json:"seed"`
+	// Nodes is the minimum node count (0 = max endpoint + 1).
+	Nodes int `json:"nodes"`
+	// Edges lists node pairs; loops are dropped, duplicates merged.
+	Edges [][2]int `json:"edges,omitempty"`
+	// EdgeList is SNAP edge-list text ('#' comments, one pair per line).
+	EdgeList string `json:"edgelist,omitempty"`
+}
+
+// maxGraphNodes caps the node count a fit request may imply. Graph
+// construction allocates O(n) CSR arrays, so without this cap a
+// ~30-byte body naming node id 2e9 would force a multi-gigabyte
+// allocation regardless of maxBodyBytes. 2^24 nodes (offset arrays in
+// the hundreds of MB) is far beyond any edge list that fits the body
+// cap.
+const maxGraphNodes = 1 << 24
+
+func (r *FitRequest) graph() (*graph.Graph, error) {
+	if r.Nodes > maxGraphNodes {
+		return nil, fmt.Errorf("nodes = %d exceeds the per-request cap of %d", r.Nodes, maxGraphNodes)
+	}
+	switch {
+	case len(r.Edges) > 0 && r.EdgeList != "":
+		return nil, fmt.Errorf("provide edges or edgelist, not both")
+	case len(r.Edges) > 0:
+		n := r.Nodes
+		for _, e := range r.Edges {
+			if e[0] < 0 || e[1] < 0 {
+				return nil, fmt.Errorf("negative node id in edge [%d, %d]", e[0], e[1])
+			}
+			if e[0] >= n {
+				n = e[0] + 1
+			}
+			if e[1] >= n {
+				n = e[1] + 1
+			}
+		}
+		if n > maxGraphNodes {
+			return nil, fmt.Errorf("edge node ids imply %d nodes, exceeding the per-request cap of %d", n, maxGraphNodes)
+		}
+		return graph.FromEdges(n, r.Edges), nil
+	case r.EdgeList != "":
+		// Pre-scan the text for the largest node id before letting
+		// ReadEdgeList allocate the O(n) graph arrays.
+		if maxID, err := maxEdgeListID(r.EdgeList); err != nil {
+			return nil, err
+		} else if maxID >= maxGraphNodes {
+			return nil, fmt.Errorf("edge list names node %d, exceeding the per-request cap of %d nodes", maxID, maxGraphNodes)
+		}
+		return graph.ReadEdgeList(strings.NewReader(r.EdgeList), r.Nodes)
+	default:
+		return nil, fmt.Errorf("edges or edgelist is required")
+	}
+}
+
+// maxEdgeListID returns the largest node id mentioned in SNAP
+// edge-list text ('#' comments skipped), without building anything.
+func maxEdgeListID(text string) (int, error) {
+	maxID := 0
+	for len(text) > 0 {
+		line := text
+		if i := strings.IndexByte(text, '\n'); i >= 0 {
+			line, text = text[:i], text[i+1:]
+		} else {
+			text = ""
+		}
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		for _, f := range strings.Fields(line) {
+			id, err := strconv.Atoi(f)
+			if err != nil {
+				return 0, fmt.Errorf("edge list: bad node id %q", f)
+			}
+			if id > maxID {
+				maxID = id
+			}
+		}
+	}
+	return maxID, nil
+}
+
+// InitiatorJSON is a fitted or requested initiator in JSON form.
+type InitiatorJSON struct {
+	A float64 `json:"a"`
+	B float64 `json:"b"`
+	C float64 `json:"c"`
+}
+
+// FitResult is the result payload of a completed fit job.
+type FitResult struct {
+	Method    string        `json:"method"`
+	Initiator InitiatorJSON `json:"initiator"`
+	K         int           `json:"k"`
+	// Objective is the moment objective at the optimum (mom, private).
+	Objective *float64 `json:"objective,omitempty"`
+	// LogLikelihood is the approximate ll at the optimum (mle).
+	LogLikelihood *float64 `json:"loglikelihood,omitempty"`
+	// Privacy echoes the composed guarantee (private only).
+	Privacy *struct {
+		Eps   float64 `json:"eps"`
+		Delta float64 `json:"delta"`
+	} `json:"privacy,omitempty"`
+	// Features are the (private, for method private; exact otherwise)
+	// feature counts used by the fit.
+	Features *struct {
+		E     float64 `json:"e"`
+		H     float64 `json:"h"`
+		T     float64 `json:"t"`
+		Delta float64 `json:"delta"`
+	} `json:"features,omitempty"`
+}
+
+func featuresJSON(f stats.Features) *struct {
+	E     float64 `json:"e"`
+	H     float64 `json:"h"`
+	T     float64 `json:"t"`
+	Delta float64 `json:"delta"`
+} {
+	return &struct {
+		E     float64 `json:"e"`
+		H     float64 `json:"h"`
+		T     float64 `json:"t"`
+		Delta float64 `json:"delta"`
+	}{f.E, f.H, f.T, f.Delta}
+}
+
+func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
+	var req FitRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Method == "" {
+		req.Method = "private"
+	}
+	if req.Eps == 0 {
+		req.Eps = 0.2
+	}
+	if req.Delta == 0 {
+		req.Delta = 0.01
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	method := strings.ToLower(req.Method)
+	switch method {
+	case "private", "mom", "mle":
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown method %q (want private, mom or mle)", req.Method))
+		return
+	}
+	g, err := req.graph()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	j, status, msg := s.submit("fit/"+method, func(run *pipeline.Run) (any, error) {
+		rng := randx.New(req.Seed)
+		switch method {
+		case "mom":
+			est, err := kronmom.FitGraphCtx(run, g, req.K, kronmom.Options{Rng: rng})
+			if err != nil {
+				return nil, err
+			}
+			return FitResult{
+				Method:    method,
+				Initiator: InitiatorJSON{est.Init.A, est.Init.B, est.Init.C},
+				K:         est.K,
+				Objective: &est.Objective,
+			}, nil
+		case "mle":
+			res, err := kronfit.FitCtx(run, g, kronfit.Options{K: req.K, Rng: rng})
+			if err != nil {
+				return nil, err
+			}
+			return FitResult{
+				Method:        method,
+				Initiator:     InitiatorJSON{res.Init.A, res.Init.B, res.Init.C},
+				K:             res.K,
+				LogLikelihood: &res.LogLikelihood,
+			}, nil
+		default: // private
+			res, err := core.EstimateCtx(run, g, core.Options{
+				Eps: req.Eps, Delta: req.Delta, K: req.K, Rng: rng,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out := FitResult{
+				Method:    method,
+				Initiator: InitiatorJSON{res.Init.A, res.Init.B, res.Init.C},
+				K:         res.K,
+				Objective: &res.Moment.Objective,
+				Features:  featuresJSON(res.Features),
+			}
+			out.Privacy = &struct {
+				Eps   float64 `json:"eps"`
+				Delta float64 `json:"delta"`
+			}{res.Privacy.Eps, res.Privacy.Delta}
+			return out, nil
+		}
+	})
+	if j == nil {
+		writeError(w, status, msg)
+		return
+	}
+	writeJSON(w, status, j.view())
+}
+
+// Per-request bounds for generate jobs: maxGenerateK matches the fit
+// endpoint's maxGraphNodes (2^24 nodes); maxExactK additionally bounds
+// the exact sampler, whose cost is quadratic in the node count (k = 16
+// is ~2^31 pair draws — minutes on one worker, and cancellable);
+// maxGenerateEdges bounds the ball-drop dedup and the result payload.
+const (
+	maxGenerateK     = 24
+	maxExactK        = 16
+	maxGenerateEdges = 1 << 26
+)
+
+// GenerateRequest is the body of POST /v1/generate: the initiator
+// entries, the Kronecker power, and the sampler configuration.
+type GenerateRequest struct {
+	A    float64 `json:"a"`
+	B    float64 `json:"b"`
+	C    float64 `json:"c"`
+	K    int     `json:"k"`
+	Seed uint64  `json:"seed"`
+	// Method selects the sampler: "auto" (default; exact for K <= 13),
+	// "exact", "balldrop".
+	Method string `json:"method"`
+	// Target overrides the ball-drop edge target (0 = expected count).
+	Target int `json:"target"`
+	// OmitEdges drops the edge list from the result (counts only) for
+	// large graphs.
+	OmitEdges bool `json:"omit_edges"`
+}
+
+// GenerateResult is the result payload of a completed generate job.
+type GenerateResult struct {
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+	// EdgeList is the sampled graph in SNAP edge-list text (omitted
+	// when the request set omit_edges).
+	EdgeList string `json:"edgelist,omitempty"`
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	var req GenerateRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	method := strings.ToLower(req.Method)
+	if method == "" {
+		method = "auto"
+	}
+	switch method {
+	case "auto", "exact", "balldrop":
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown method %q (want auto, exact or balldrop)", req.Method))
+		return
+	}
+	// Bound the work a generate job may pin a slot with, mirroring the
+	// fit endpoint's maxGraphNodes guard: K caps the CSR allocation
+	// (2^K nodes), the exact sampler additionally costs O(4^K) pair
+	// draws, and target caps the dedup/result size.
+	if req.K > maxGenerateK {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("k = %d exceeds the per-request cap of %d", req.K, maxGenerateK))
+		return
+	}
+	if method == "exact" && req.K > maxExactK {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("method exact is capped at k = %d (O(4^k) pair draws); use balldrop or auto", maxExactK))
+		return
+	}
+	if req.Target > maxGenerateEdges {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("target = %d exceeds the per-request cap of %d edges", req.Target, maxGenerateEdges))
+		return
+	}
+	m, err := skg.NewModel(skg.Initiator{A: req.A, B: req.B, C: req.C}, req.K)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	j, status, msg := s.submit("generate", func(run *pipeline.Run) (any, error) {
+		rng := randx.New(req.Seed)
+		var g *graph.Graph
+		var err error
+		switch {
+		case method == "exact":
+			g, err = m.SampleExactCtx(run, rng)
+		case method == "balldrop" && req.Target > 0:
+			g, err = m.SampleBallDropNCtx(run, rng, req.Target)
+		case method == "balldrop":
+			g, err = m.SampleBallDropCtx(run, rng)
+		default:
+			g, err = m.SampleCtx(run, rng)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res := GenerateResult{Nodes: g.NumNodes(), Edges: g.NumEdges()}
+		if !req.OmitEdges {
+			var sb strings.Builder
+			if err := g.WriteEdgeList(&sb); err != nil {
+				return nil, err
+			}
+			res.EdgeList = sb.String()
+		}
+		return res, nil
+	})
+	if j == nil {
+		writeError(w, status, msg)
+		return
+	}
+	writeJSON(w, status, j.view())
+}
+
+// maxBodyBytes bounds request bodies (64 MiB covers multi-million-edge
+// lists while keeping a hostile POST from exhausting memory).
+const maxBodyBytes = 64 << 20
+
+// decodeJSON parses a request body, bounding its size and rejecting
+// unknown fields so typos in job specs fail fast instead of silently
+// defaulting.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid JSON body: %w", err)
+	}
+	return nil
+}

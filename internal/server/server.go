@@ -1,0 +1,376 @@
+// Package server exposes the estimation pipeline as an HTTP/JSON job
+// API — the service surface the ROADMAP's production goal needs. Fits
+// and synthetic-graph generations are submitted as asynchronous jobs,
+// polled for stage progress (fed by the pipeline event sink threaded
+// through core/kronfit/kronmom/skg), and cancelled through the same
+// context plumbing that every long-running layer checks.
+//
+// Endpoints:
+//
+//	POST   /v1/fit        submit an estimation job (private | mom | mle)
+//	POST   /v1/generate   submit a synthetic-graph sampling job
+//	GET    /v1/jobs       list all jobs (newest last)
+//	GET    /v1/jobs/{id}  one job with stage progress and result
+//	DELETE /v1/jobs/{id}  cancel a queued or running job
+//	GET    /healthz       liveness probe
+//
+// Concurrency model: the process-wide worker budget is split evenly
+// across the MaxJobs job slots, so a fully loaded server never runs
+// more goroutines than the budget allows; jobs beyond MaxJobs queue
+// (bounded by MaxQueue, further submissions get 429). Every job runs
+// under its own context derived from the server's, so Close cancels
+// everything in flight.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"dpkron/internal/parallel"
+	"dpkron/internal/pipeline"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the total worker budget split across concurrent jobs;
+	// <= 0 selects runtime.GOMAXPROCS(0).
+	Workers int
+	// MaxJobs bounds concurrently *running* jobs (default 2).
+	MaxJobs int
+	// MaxQueue bounds jobs admitted but not yet finished — running plus
+	// queued (default 32). Submissions beyond it are rejected with 429.
+	MaxQueue int
+	// MaxHistory bounds retained *finished* jobs (default 256): once
+	// exceeded, the oldest terminal jobs are evicted so a long-running
+	// server's memory stays bounded. Queued and running jobs are never
+	// evicted.
+	MaxHistory int
+	// EventLog, when set, receives every job's pipeline events as they
+	// arrive (serialized per job). Used by `dpkron serve -progress`.
+	EventLog func(jobID string, e pipeline.Event)
+}
+
+func (o *Options) fill() {
+	o.Workers = parallel.Normalize(o.Workers)
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 2
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 32
+	}
+	if o.MaxHistory <= 0 {
+		o.MaxHistory = 256
+	}
+}
+
+// Server is the job manager plus its HTTP handler.
+type Server struct {
+	opts       Options
+	jobWorkers int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	slots  chan struct{}
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string
+	next   int
+	active int // admitted and not yet finalized (queued + running)
+
+	mux *http.ServeMux
+}
+
+// New returns a Server ready to serve its Handler.
+func New(opts Options) *Server {
+	opts.fill()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:   opts,
+		ctx:    ctx,
+		cancel: cancel,
+		slots:  make(chan struct{}, opts.MaxJobs),
+		jobs:   map[string]*job{},
+	}
+	// Split the budget across the job slots: a saturated server stays
+	// within Options.Workers total.
+	s.jobWorkers = opts.Workers / opts.MaxJobs
+	if s.jobWorkers < 1 {
+		s.jobWorkers = 1
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/fit", s.handleFit)
+	s.mux.HandleFunc("POST /v1/generate", s.handleGenerate)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+// Handler returns the HTTP handler serving the job API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close cancels every queued and running job and waits for their
+// goroutines to drain.
+func (s *Server) Close() {
+	s.cancel()
+	s.wg.Wait()
+}
+
+// Job statuses.
+const (
+	StatusQueued    = "queued"
+	StatusRunning   = "running"
+	StatusDone      = "done"
+	StatusFailed    = "failed"
+	StatusCancelled = "cancelled"
+)
+
+// StageProgress is one stage's latest progress fraction, in the order
+// the stages first reported.
+type StageProgress struct {
+	Stage string  `json:"stage"`
+	Frac  float64 `json:"frac"`
+}
+
+type job struct {
+	id     string
+	kind   string
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	status string
+	stages []StageProgress
+	result any
+	errMsg string
+}
+
+// sink returns the pipeline Sink recording stage progress on the job.
+func (j *job) sink() pipeline.Sink {
+	return func(e pipeline.Event) {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		for i := range j.stages {
+			if j.stages[i].Stage == e.Stage {
+				if e.Frac > j.stages[i].Frac {
+					j.stages[i].Frac = e.Frac
+				}
+				return
+			}
+		}
+		j.stages = append(j.stages, StageProgress{Stage: e.Stage, Frac: e.Frac})
+	}
+}
+
+// setStatus transitions the job unless it already reached a terminal
+// state: a DELETE that marked a queued job cancelled must not be
+// overwritten by the goroutine racing into "running".
+func (j *job) setStatus(status string) {
+	j.mu.Lock()
+	if !terminalStatus(j.status) {
+		j.status = status
+	}
+	j.mu.Unlock()
+}
+
+func terminalStatus(s string) bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// view is the JSON representation returned by the jobs endpoints.
+type view struct {
+	ID     string          `json:"id"`
+	Kind   string          `json:"kind"`
+	Status string          `json:"status"`
+	Stages []StageProgress `json:"stages,omitempty"`
+	Result any             `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+func (j *job) view() view {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := view{
+		ID:     j.id,
+		Kind:   j.kind,
+		Status: j.status,
+		Stages: append([]StageProgress(nil), j.stages...),
+		Error:  j.errMsg,
+	}
+	if j.status == StatusDone {
+		v.Result = j.result
+	}
+	return v
+}
+
+// submit registers a job and launches its goroutine. fn runs once a
+// job slot frees up, under a pipeline Run wired to the job's context
+// and progress sink. Returns nil (plus an HTTP status and message)
+// when the queue is full.
+func (s *Server) submit(kind string, fn func(run *pipeline.Run) (any, error)) (*job, int, string) {
+	s.mu.Lock()
+	if s.active >= s.opts.MaxQueue {
+		active := s.active
+		s.mu.Unlock()
+		return nil, http.StatusTooManyRequests, fmt.Sprintf("job queue full (%d active)", active)
+	}
+	s.next++
+	s.active++
+	ctx, cancel := context.WithCancel(s.ctx)
+	j := &job{
+		id:     fmt.Sprintf("job-%d", s.next),
+		kind:   kind,
+		cancel: cancel,
+		status: StatusQueued,
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go func() {
+		defer s.wg.Done()
+		// finalize exactly once, on every exit path: release the job's
+		// context resources, return its admission slot, and evict old
+		// terminal jobs beyond the history bound.
+		defer s.finalize(j)
+		select {
+		case s.slots <- struct{}{}:
+			defer func() { <-s.slots }()
+		case <-ctx.Done():
+			j.setStatus(StatusCancelled)
+			return
+		}
+		if ctx.Err() != nil {
+			j.setStatus(StatusCancelled)
+			return
+		}
+		j.setStatus(StatusRunning)
+		sink := j.sink()
+		if s.opts.EventLog != nil {
+			inner := sink
+			id := j.id
+			sink = func(e pipeline.Event) {
+				inner(e)
+				s.opts.EventLog(id, e)
+			}
+		}
+		res, err := fn(pipeline.New(ctx, s.jobWorkers, sink))
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if terminalStatus(j.status) {
+			// A DELETE already confirmed this job cancelled to the
+			// client; keep that answer and drop any late result.
+			return
+		}
+		switch {
+		case err == nil:
+			j.status = StatusDone
+			j.result = res
+		case errors.Is(err, context.Canceled) || ctx.Err() != nil:
+			j.status = StatusCancelled
+		default:
+			j.status = StatusFailed
+			j.errMsg = err.Error()
+		}
+	}()
+	return j, http.StatusAccepted, ""
+}
+
+// terminal reports whether the job has finished (any outcome).
+func (j *job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return terminalStatus(j.status)
+}
+
+// finalize runs once per job, after it reaches a terminal state:
+// releases the job context's resources, frees the admission slot, and
+// evicts the oldest finished jobs beyond Options.MaxHistory.
+func (s *Server) finalize(j *job) {
+	j.cancel()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.active--
+	finished := len(s.order) - s.active
+	if finished <= s.opts.MaxHistory {
+		return
+	}
+	evict := finished - s.opts.MaxHistory
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if evict > 0 && s.jobs[id].terminal() {
+			delete(s.jobs, id)
+			evict--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]view, 0, len(ids))
+	for _, id := range ids {
+		if j := s.lookup(id); j != nil {
+			out = append(out, j.view())
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	j.cancel()
+	// A queued job flips to cancelled synchronously; a running one
+	// transitions when its pipeline observes the context.
+	j.mu.Lock()
+	if j.status == StatusQueued {
+		j.status = StatusCancelled
+	}
+	v := view{ID: j.id, Kind: j.kind, Status: j.status}
+	j.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

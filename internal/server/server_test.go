@@ -1,0 +1,376 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dpkron/internal/graph"
+	"dpkron/internal/randx"
+	"dpkron/internal/skg"
+)
+
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func doJSON(t *testing.T, method, url string, body any) (int, map[string]any) {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s %s: decoding response: %v", method, url, err)
+	}
+	return resp.StatusCode, out
+}
+
+// pollJob polls GET /v1/jobs/{id} until the job leaves the queued and
+// running states or the deadline passes.
+func pollJob(t *testing.T, base, id string, deadline time.Duration) map[string]any {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	for {
+		code, job := doJSON(t, http.MethodGet, base+"/v1/jobs/"+id, nil)
+		if code != http.StatusOK {
+			t.Fatalf("GET job %s: status %d (%v)", id, code, job)
+		}
+		switch job["status"] {
+		case StatusDone, StatusFailed, StatusCancelled:
+			return job
+		}
+		if time.Now().After(stop) {
+			t.Fatalf("job %s did not finish within %v: %v", id, deadline, job)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func testEdgeList(t *testing.T, k int) string {
+	t.Helper()
+	m, err := skg.NewModel(skg.Initiator{A: 0.95, B: 0.55, C: 0.3}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.SampleExact(randx.New(4))
+	var sb strings.Builder
+	if err := g.WriteEdgeList(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestServerFitSubmitPollResult(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, MaxJobs: 2})
+
+	code, resp := doJSON(t, http.MethodPost, ts.URL+"/v1/fit", FitRequest{
+		Method: "private", Eps: 1, Delta: 0.05, K: 8, Seed: 3,
+		EdgeList: testEdgeList(t, 8),
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/fit: status %d (%v)", code, resp)
+	}
+	id, _ := resp["id"].(string)
+	if id == "" {
+		t.Fatalf("no job id in %v", resp)
+	}
+
+	job := pollJob(t, ts.URL, id, 60*time.Second)
+	if job["status"] != StatusDone {
+		t.Fatalf("fit job ended %v, want done: %v", job["status"], job)
+	}
+	result, _ := job["result"].(map[string]any)
+	if result == nil {
+		t.Fatalf("done job has no result: %v", job)
+	}
+	init, _ := result["initiator"].(map[string]any)
+	if init == nil {
+		t.Fatalf("result has no initiator: %v", result)
+	}
+	for _, f := range []string{"a", "b", "c"} {
+		v, ok := init[f].(float64)
+		if !ok || v < 0 || v > 1 {
+			t.Errorf("initiator %s = %v, want float in [0, 1]", f, init[f])
+		}
+	}
+	if prv, _ := result["privacy"].(map[string]any); prv == nil || prv["eps"] != 1.0 {
+		t.Errorf("privacy block missing or wrong: %v", result["privacy"])
+	}
+	// Stage progress must have been recorded, ending with the moment fit.
+	stages, _ := job["stages"].([]any)
+	if len(stages) == 0 {
+		t.Fatalf("no stage progress recorded: %v", job)
+	}
+	var names []string
+	for _, st := range stages {
+		m := st.(map[string]any)
+		names = append(names, m["stage"].(string))
+		if m["frac"].(float64) < 1 {
+			t.Errorf("stage %v did not complete: frac %v", m["stage"], m["frac"])
+		}
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"algorithm1/degree-release", "algorithm1/triangle-release", "algorithm1/moment-fit"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("stage %q missing from progress %v", want, names)
+		}
+	}
+}
+
+func TestServerGenerateRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, MaxJobs: 2})
+	code, resp := doJSON(t, http.MethodPost, ts.URL+"/v1/generate", GenerateRequest{
+		A: 0.95, B: 0.55, C: 0.3, K: 8, Seed: 3, Method: "exact",
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/generate: status %d (%v)", code, resp)
+	}
+	job := pollJob(t, ts.URL, resp["id"].(string), 60*time.Second)
+	if job["status"] != StatusDone {
+		t.Fatalf("generate job ended %v: %v", job["status"], job)
+	}
+	result := job["result"].(map[string]any)
+	if result["nodes"].(float64) != 256 {
+		t.Errorf("nodes = %v, want 256", result["nodes"])
+	}
+	edgeList, _ := result["edgelist"].(string)
+	g, err := graph.ReadEdgeList(strings.NewReader(edgeList), 256)
+	if err != nil {
+		t.Fatalf("result edge list unparsable: %v", err)
+	}
+	if float64(g.NumEdges()) != result["edges"].(float64) {
+		t.Errorf("edge list has %d edges, result says %v", g.NumEdges(), result["edges"])
+	}
+	// The sampled graph must equal a local sample with the same seed:
+	// the job API is deterministic per request.
+	m, _ := skg.NewModel(skg.Initiator{A: 0.95, B: 0.55, C: 0.3}, 8)
+	want := m.SampleExact(randx.New(3))
+	if g.NumEdges() != want.NumEdges() {
+		t.Errorf("server sample has %d edges, local sample %d", g.NumEdges(), want.NumEdges())
+	}
+}
+
+func TestServerSubmitCancel(t *testing.T) {
+	// One worker and one slot: the long first job occupies the slot.
+	_, ts := newTestServer(t, Options{Workers: 1, MaxJobs: 1})
+
+	// A big exact sample (k=13 → 67M pair flips on one goroutine) runs
+	// long enough to be cancelled mid-flight.
+	code, resp := doJSON(t, http.MethodPost, ts.URL+"/v1/generate", GenerateRequest{
+		A: 0.99, B: 0.55, C: 0.35, K: 13, Seed: 5, Method: "exact", OmitEdges: true,
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("POST: status %d", code)
+	}
+	id := resp["id"].(string)
+
+	// Wait until the job is running and has reported a stage.
+	stop := time.Now().Add(30 * time.Second)
+	for {
+		_, job := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+id, nil)
+		if job["status"] == StatusRunning {
+			break
+		}
+		if job["status"] == StatusDone {
+			t.Skip("machine too fast for mid-run cancellation; covered by queued-cancel below")
+		}
+		if time.Now().After(stop) {
+			t.Fatalf("job never started: %v", job)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	code, cresp := doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("DELETE: status %d (%v)", code, cresp)
+	}
+	job := pollJob(t, ts.URL, id, 30*time.Second)
+	if job["status"] != StatusCancelled {
+		t.Fatalf("job ended %v, want cancelled: %v", job["status"], job)
+	}
+	if _, hasResult := job["result"]; hasResult {
+		t.Fatalf("cancelled job must not expose a result: %v", job)
+	}
+}
+
+func TestServerQueuedJobCancel(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, MaxJobs: 1})
+	// Occupy the only slot.
+	_, first := doJSON(t, http.MethodPost, ts.URL+"/v1/generate", GenerateRequest{
+		A: 0.99, B: 0.55, C: 0.35, K: 13, Seed: 5, Method: "exact", OmitEdges: true,
+	})
+	firstID := first["id"].(string)
+	// The second job queues behind it.
+	_, second := doJSON(t, http.MethodPost, ts.URL+"/v1/generate", GenerateRequest{
+		A: 0.9, B: 0.5, C: 0.3, K: 6, Seed: 1,
+	})
+	secondID := second["id"].(string)
+
+	code, resp := doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/"+secondID, nil)
+	if code != http.StatusAccepted {
+		t.Fatalf("DELETE queued: status %d (%v)", code, resp)
+	}
+	job := pollJob(t, ts.URL, secondID, 10*time.Second)
+	if job["status"] != StatusCancelled {
+		t.Fatalf("queued job ended %v, want cancelled", job["status"])
+	}
+	// Clean up the long job so Close returns quickly.
+	doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/"+firstID, nil)
+}
+
+func TestServerValidationAndLimits(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, MaxJobs: 1, MaxQueue: 1})
+
+	for name, tc := range map[string]struct {
+		path string
+		body any
+	}{
+		"missing graph":   {"/v1/fit", FitRequest{Method: "mom"}},
+		"bad method":      {"/v1/fit", FitRequest{Method: "bogus", EdgeList: "0 1\n"}},
+		"bad initiator":   {"/v1/generate", GenerateRequest{A: 2, B: 0.5, C: 0.5, K: 5}},
+		"bad k":           {"/v1/generate", GenerateRequest{A: 0.9, B: 0.5, C: 0.2, K: 0}},
+		"unknown field":   {"/v1/fit", map[string]any{"nope": 1}},
+		"edges+edgelist":  {"/v1/fit", FitRequest{Edges: [][2]int{{0, 1}}, EdgeList: "0 1\n"}},
+		"negative nodeid": {"/v1/fit", FitRequest{Edges: [][2]int{{-1, 1}}}},
+		"nodes over cap":  {"/v1/fit", FitRequest{Nodes: maxGraphNodes + 1, EdgeList: "0 1\n"}},
+		"edge id over cap": {"/v1/fit", FitRequest{
+			Edges: [][2]int{{maxGraphNodes + 5, 1}},
+		}},
+		"edgelist id over cap": {"/v1/fit", FitRequest{
+			EdgeList: fmt.Sprintf("0 %d\n", maxGraphNodes+5),
+		}},
+		"generate k over cap": {"/v1/generate", GenerateRequest{
+			A: 0.9, B: 0.5, C: 0.3, K: maxGenerateK + 1,
+		}},
+		"exact k over cap": {"/v1/generate", GenerateRequest{
+			A: 0.9, B: 0.5, C: 0.3, K: maxExactK + 1, Method: "exact",
+		}},
+		"target over cap": {"/v1/generate", GenerateRequest{
+			A: 0.9, B: 0.5, C: 0.3, K: 10, Target: maxGenerateEdges + 1,
+		}},
+	} {
+		code, resp := doJSON(t, http.MethodPost, ts.URL+tc.path, tc.body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%v)", name, code, resp)
+		}
+	}
+
+	if code, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/nope", nil); code != http.StatusNotFound {
+		t.Errorf("GET unknown job: status %d, want 404", code)
+	}
+	if code, _ := doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/nope", nil); code != http.StatusNotFound {
+		t.Errorf("DELETE unknown job: status %d, want 404", code)
+	}
+
+	// Queue bound: with MaxQueue=1, a second active job is rejected.
+	_, first := doJSON(t, http.MethodPost, ts.URL+"/v1/generate", GenerateRequest{
+		A: 0.99, B: 0.55, C: 0.35, K: 13, Seed: 5, Method: "exact", OmitEdges: true,
+	})
+	code, resp := doJSON(t, http.MethodPost, ts.URL+"/v1/generate", GenerateRequest{
+		A: 0.9, B: 0.5, C: 0.3, K: 6,
+	})
+	if code != http.StatusTooManyRequests {
+		t.Errorf("over-queue submission: status %d, want 429 (%v)", code, resp)
+	}
+	doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/"+first["id"].(string), nil)
+
+	// The jobs listing includes everything submitted.
+	code, list := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs", nil)
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/jobs: status %d", code)
+	}
+	if jobs, _ := list["jobs"].([]any); len(jobs) == 0 {
+		t.Errorf("jobs listing empty after submissions")
+	}
+
+	if code, _ = doJSON(t, http.MethodGet, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Errorf("healthz: status %d", code)
+	}
+}
+
+// TestServerHistoryEviction: finished jobs beyond MaxHistory are
+// evicted oldest-first so a long-running server stays bounded.
+func TestServerHistoryEviction(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, MaxJobs: 1, MaxHistory: 2})
+	var ids []string
+	for i := 0; i < 5; i++ {
+		_, resp := doJSON(t, http.MethodPost, ts.URL+"/v1/generate", GenerateRequest{
+			A: 0.9, B: 0.5, C: 0.3, K: 5, Seed: uint64(i + 1), OmitEdges: true,
+		})
+		id := resp["id"].(string)
+		ids = append(ids, id)
+		if job := pollJob(t, ts.URL, id, 30*time.Second); job["status"] != StatusDone {
+			t.Fatalf("job %s ended %v", id, job["status"])
+		}
+	}
+	// Eviction runs on finalize; the last finalize may race the final
+	// poll, so allow a short settle.
+	var kept int
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, list := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs", nil)
+		kept = len(list["jobs"].([]any))
+		if kept <= 2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if kept > 2 {
+		t.Errorf("retained %d finished jobs, want <= MaxHistory=2", kept)
+	}
+	// The oldest job is gone, the newest still pollable.
+	if code, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+ids[0], nil); code != http.StatusNotFound {
+		t.Errorf("evicted job still resolvable: status %d", code)
+	}
+	if code, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+ids[4], nil); code != http.StatusOK {
+		t.Errorf("newest job not resolvable: status %d", code)
+	}
+}
+
+// TestServerWorkerSplit pins the budget split rule.
+func TestServerWorkerSplit(t *testing.T) {
+	for _, tc := range []struct {
+		workers, maxJobs, want int
+	}{
+		{8, 2, 4},
+		{4, 4, 1},
+		{1, 2, 1},
+		{3, 2, 1},
+	} {
+		s := New(Options{Workers: tc.workers, MaxJobs: tc.maxJobs})
+		if s.jobWorkers != tc.want {
+			t.Errorf("workers=%d maxJobs=%d: per-job budget %d, want %d",
+				tc.workers, tc.maxJobs, s.jobWorkers, tc.want)
+		}
+		s.Close()
+	}
+}

@@ -39,7 +39,7 @@ func (m Model) sampleBallDropNRef(rng *randx.Rand, target, workers int) *graph.G
 		return q
 	}
 	parts := make([][]int64, shards)
-	parallel.Run(parallel.Workers(workers), shards, func(s int) {
+	parallel.Run(parallel.Normalize(workers), shards, func(s int) {
 		r := rngs[s]
 		q := quota(s)
 		local := make(map[int64]struct{}, 2*q)

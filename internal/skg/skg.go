@@ -12,6 +12,7 @@
 package skg
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -19,6 +20,7 @@ import (
 
 	"dpkron/internal/graph"
 	"dpkron/internal/parallel"
+	"dpkron/internal/pipeline"
 	"dpkron/internal/randx"
 	"dpkron/internal/stats"
 )
@@ -199,6 +201,17 @@ func (m Model) SampleExact(rng *randx.Rand) *graph.Graph {
 // derived serially from rng, so for a given seed the sampled edge set
 // is identical for every worker count.
 func (m Model) SampleExactWorkers(rng *randx.Rand, workers int) *graph.Graph {
+	g, _ := m.SampleExactCtx(pipeline.New(nil, workers, nil), rng)
+	return g
+}
+
+// SampleExactCtx is SampleExact under a pipeline Run: the worker budget
+// comes from run, the pair-block fan-out checks the context between
+// shards, and a "sample-exact" stage event pair is emitted. A run that
+// is never cancelled samples the exact graph SampleExactWorkers
+// produces for the same seed; a cancelled run returns run.Err().
+func (m Model) SampleExactCtx(run *pipeline.Run, rng *randx.Rand) (*graph.Graph, error) {
+	done := run.Stage("sample-exact")
 	n := m.NumNodes()
 	tbl := m.powTables()
 	mask := 1<<m.K - 1
@@ -209,7 +222,7 @@ func (m Model) SampleExactWorkers(rng *randx.Rand, workers int) *graph.Graph {
 	// slack) so the inner loop appends without regrowth.
 	density := 2 * m.ExpectedFeatures().E / (float64(n) * float64(n-1))
 	pairsBelow := func(u int) float64 { return float64(u) * float64(u-1) / 2 }
-	parallel.Run(parallel.Workers(workers), len(blocks), func(s int) {
+	err := parallel.RunCtx(run.Context(), run.Workers(), len(blocks), func(s int) {
 		r := rngs[s]
 		hint := int(density*(pairsBelow(blocks[s].Hi)-pairsBelow(blocks[s].Lo))*1.2) + 16
 		b := graph.NewBuilderCap(n, hint)
@@ -225,6 +238,9 @@ func (m Model) SampleExactWorkers(rng *randx.Rand, workers int) *graph.Graph {
 		}
 		parts[s] = b
 	})
+	if err != nil {
+		return nil, err
+	}
 	pending := 0
 	for _, p := range parts {
 		pending += p.NumPending()
@@ -233,7 +249,9 @@ func (m Model) SampleExactWorkers(rng *randx.Rand, workers int) *graph.Graph {
 	for _, p := range parts {
 		merged.Absorb(p)
 	}
-	return merged.BuildWorkers(workers)
+	g := merged.BuildWorkers(run.Workers())
+	done()
+	return g, nil
 }
 
 // SampleBallDrop draws an undirected simple graph with approximately the
@@ -294,11 +312,17 @@ func (m Model) dropPair(r *randx.Rand, pa, pb float64) (u, v int) {
 // drop where the serial generator accepted its last key. The accepted
 // key set and the final state of r are therefore identical to the
 // map-based implementation for every seed.
-func (m Model) dropUnique(r *randx.Rand, pa, pb float64, need, maxAttempts int, exclude []int64) []int64 {
+func (m Model) dropUnique(ctx context.Context, r *randx.Rand, pa, pb float64, need, maxAttempts int, exclude []int64) []int64 {
 	accepted := make([]int64, 0, need)
 	var cand, scratch []int64
 	attempts := 0
 	for len(accepted) < need && attempts < maxAttempts {
+		// Cooperative cancellation between rounds: the caller discards
+		// the partial result after observing ctx.Err(). A live context
+		// never changes the accepted set or the draws consumed from r.
+		if ctx != nil && ctx.Err() != nil {
+			return accepted
+		}
 		want := need - len(accepted)
 		cand = cand[:0]
 		for len(cand) < want && attempts < maxAttempts {
@@ -339,6 +363,19 @@ func (m Model) dropUnique(r *randx.Rand, pa, pb float64, need, maxAttempts int, 
 // identical for every worker count — and identical to what the
 // historical map-based dedup produced.
 func (m Model) SampleBallDropNWorkers(rng *randx.Rand, target, workers int) *graph.Graph {
+	g, _ := m.SampleBallDropNCtx(pipeline.New(nil, workers, nil), rng, target)
+	return g
+}
+
+// SampleBallDropNCtx is SampleBallDropN under a pipeline Run: the
+// worker budget comes from run, the per-shard quota fan-out and the
+// dedup sort check the context between shards, the serial top-up checks
+// it between rounds, and a "sample-ball-drop" stage event pair is
+// emitted. A run that is never cancelled samples the exact graph
+// SampleBallDropNWorkers produces for the same seed; a cancelled run
+// returns run.Err().
+func (m Model) SampleBallDropNCtx(run *pipeline.Run, rng *randx.Rand, target int) (*graph.Graph, error) {
+	done := run.Stage("sample-ball-drop")
 	n := m.NumNodes()
 	maxPairs := n * (n - 1) / 2
 	if target > maxPairs {
@@ -346,7 +383,11 @@ func (m Model) SampleBallDropNWorkers(rng *randx.Rand, target, workers int) *gra
 	}
 	sum := m.Init.EdgeSum()
 	if sum == 0 || target <= 0 {
-		return graph.Empty(n)
+		if err := run.Err(); err != nil {
+			return nil, err
+		}
+		done()
+		return graph.Empty(n), nil
 	}
 	pa := m.Init.A / sum
 	pb := m.Init.B / sum
@@ -355,6 +396,7 @@ func (m Model) SampleBallDropNWorkers(rng *randx.Rand, target, workers int) *gra
 	if shards > target {
 		shards = target
 	}
+	ctx := run.Context()
 	rngs := parallel.Streams(rng, shards+1) // last stream is the top-up
 	quota := func(s int) int {
 		q := target / shards
@@ -364,13 +406,21 @@ func (m Model) SampleBallDropNWorkers(rng *randx.Rand, target, workers int) *gra
 		return q
 	}
 	parts := make([][]int64, shards)
-	parallel.Run(parallel.Workers(workers), shards, func(s int) {
+	if err := parallel.RunCtx(ctx, run.Workers(), shards, func(s int) {
 		// Cap total attempts: dense targets on tiny graphs may need many
 		// re-drops; 200·quota + 1000 is far beyond what the sparse
 		// regimes of the paper require but keeps the routine total.
 		q := quota(s)
-		parts[s] = m.dropUnique(rngs[s], pa, pb, q, 200*q+1000, nil)
-	})
+		parts[s] = m.dropUnique(ctx, rngs[s], pa, pb, q, 200*q+1000, nil)
+	}); err != nil {
+		return nil, err
+	}
+	// dropUnique returns early (with a partial shard) when it observes
+	// cancellation mid-shard, which RunCtx cannot see; re-checking here
+	// rejects any such partial fan-out.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Concatenate the per-shard keys, radix-sort, and deduplicate: the
 	// result is the same edge set the historical shard-ordered map merge
@@ -384,15 +434,22 @@ func (m Model) SampleBallDropNWorkers(rng *randx.Rand, target, workers int) *gra
 	for _, keys := range parts {
 		all = append(all, keys...)
 	}
-	parallel.SortInt64(parallel.Workers(workers), all, nil)
+	if _, err := parallel.SortInt64Ctx(ctx, run.Workers(), all, nil); err != nil {
+		return nil, err
+	}
 	uniq := slices.Compact(all)
 	if len(uniq) < target {
-		extra := m.dropUnique(rngs[shards], pa, pb, target-len(uniq), 200*target+1000, uniq)
+		extra := m.dropUnique(ctx, rngs[shards], pa, pb, target-len(uniq), 200*target+1000, uniq)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		uniq = parallel.MergeSortedInt64(uniq, extra)
 	}
 	b := graph.NewBuilderCap(n, len(uniq))
 	b.AddPackedEdges(uniq)
-	return b.BuildWorkers(workers)
+	g := b.BuildWorkers(run.Workers())
+	done()
+	return g, nil
 }
 
 // Sample draws a graph using the exact sampler for K <= 13 and ball
@@ -406,16 +463,30 @@ func (m Model) Sample(rng *randx.Rand) *graph.Graph {
 // runtime.GOMAXPROCS(0)); the sampled graph is identical for every
 // worker count.
 func (m Model) SampleWorkers(rng *randx.Rand, workers int) *graph.Graph {
+	g, _ := m.SampleCtx(pipeline.New(nil, workers, nil), rng)
+	return g
+}
+
+// SampleCtx is Sample under a pipeline Run (see SampleExactCtx and
+// SampleBallDropNCtx for the cancellation contract).
+func (m Model) SampleCtx(run *pipeline.Run, rng *randx.Rand) (*graph.Graph, error) {
 	if m.K <= 13 {
-		return m.SampleExactWorkers(rng, workers)
+		return m.SampleExactCtx(run, rng)
 	}
-	return m.SampleBallDropWorkers(rng, workers)
+	return m.SampleBallDropCtx(run, rng)
 }
 
 // SampleBallDropWorkers is SampleBallDrop with an explicit worker count.
 func (m Model) SampleBallDropWorkers(rng *randx.Rand, workers int) *graph.Graph {
+	g, _ := m.SampleBallDropCtx(pipeline.New(nil, workers, nil), rng)
+	return g
+}
+
+// SampleBallDropCtx is SampleBallDrop under a pipeline Run (see
+// SampleBallDropNCtx for the cancellation contract).
+func (m Model) SampleBallDropCtx(run *pipeline.Run, rng *randx.Rand) (*graph.Graph, error) {
 	target := int(math.Round(m.ExpectedFeatures().E))
-	return m.SampleBallDropNWorkers(rng, target, workers)
+	return m.SampleBallDropNCtx(run, rng, target)
 }
 
 // KroneckerPower returns the dense k-th Kronecker power of a dense

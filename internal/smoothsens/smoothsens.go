@@ -21,6 +21,7 @@ import (
 
 	"dpkron/internal/graph"
 	"dpkron/internal/parallel"
+	"dpkron/internal/pipeline"
 	"dpkron/internal/randx"
 	"dpkron/internal/stats"
 )
@@ -37,11 +38,20 @@ func MaxCommonNeighbors(g *graph.Graph) int { return MaxCommonNeighborsWorkers(g
 // array across the shards it processes; the integer max-reduction is
 // identical for every worker count.
 func MaxCommonNeighborsWorkers(g *graph.Graph, workers int) int {
+	v, _ := MaxCommonNeighborsCtx(pipeline.New(nil, workers, nil), g)
+	return v
+}
+
+// MaxCommonNeighborsCtx is MaxCommonNeighbors under a pipeline Run: the
+// two-hop scan checks the context between source blocks. A run that is
+// never cancelled computes the exact maximum; a cancelled run returns
+// run.Err().
+func MaxCommonNeighborsCtx(run *pipeline.Run, g *graph.Graph) (int, error) {
 	n := g.NumNodes()
 	if n < 2 {
-		return 0
+		return 0, run.Err()
 	}
-	w := parallel.Workers(workers)
+	w := run.Workers()
 	blocks := parallel.Blocks(n, parallel.DefaultShards)
 	if w > len(blocks) {
 		w = len(blocks)
@@ -55,7 +65,7 @@ func MaxCommonNeighborsWorkers(g *graph.Graph, workers int) int {
 	for i := range parts {
 		parts[i] = scratch{count: make([]int32, n)}
 	}
-	parallel.RunIndexed(w, len(blocks), func(worker, sh int) {
+	err := parallel.RunIndexedCtx(run.Context(), w, len(blocks), func(worker, sh int) {
 		sc := &parts[worker]
 		count := sc.count
 		for u := blocks[sh].Lo; u < blocks[sh].Hi; u++ {
@@ -81,13 +91,16 @@ func MaxCommonNeighborsWorkers(g *graph.Graph, workers int) int {
 			}
 		}
 	})
+	if err != nil {
+		return 0, err
+	}
 	best := 0
 	for _, sc := range parts {
 		if sc.best > best {
 			best = sc.best
 		}
 	}
-	return best
+	return best, nil
 }
 
 // LocalSensitivity returns LS_Δ(G) = MaxCommonNeighbors(g).
@@ -113,14 +126,25 @@ func Smooth(g *graph.Graph, beta float64) float64 { return SmoothWorkers(g, beta
 // SmoothWorkers is Smooth with an explicit worker bound for the local
 // sensitivity scan.
 func SmoothWorkers(g *graph.Graph, beta float64, workers int) float64 {
+	v, _ := SmoothCtx(pipeline.New(nil, workers, nil), g, beta)
+	return v
+}
+
+// SmoothCtx is Smooth under a pipeline Run (see MaxCommonNeighborsCtx
+// for the cancellation contract).
+func SmoothCtx(run *pipeline.Run, g *graph.Graph, beta float64) (float64, error) {
 	if beta <= 0 || math.IsNaN(beta) {
 		panic(fmt.Sprintf("smoothsens: beta must be positive, got %v", beta))
 	}
 	n := g.NumNodes()
 	if n < 3 {
-		return 0
+		return 0, run.Err()
 	}
-	return smoothFromLS(MaxCommonNeighborsWorkers(g, workers), n, beta)
+	ls, err := MaxCommonNeighborsCtx(run, g)
+	if err != nil {
+		return 0, err
+	}
+	return smoothFromLS(ls, n, beta), nil
 }
 
 // smoothFromLS maximizes e^{−βs}·min(C+s, n−2) over integer s ≥ 0.
@@ -180,15 +204,34 @@ func PrivateTriangles(g *graph.Graph, eps, delta float64, rng *randx.Rand) Resul
 // the goroutines used for the sensitivity scan and the exact count; the
 // released value is identical for every worker count.
 func PrivateTrianglesWorkers(g *graph.Graph, eps, delta float64, rng *randx.Rand, workers int) Result {
+	res, _ := PrivateTrianglesCtx(pipeline.New(nil, workers, nil), g, eps, delta, rng)
+	return res
+}
+
+// PrivateTrianglesCtx is PrivateTriangles under a pipeline Run: the
+// sensitivity scan and the exact count check the context between
+// shards, and a "triangle-release" stage event pair is emitted. A run
+// that is never cancelled consumes one Laplace draw from rng and
+// releases the exact PrivateTrianglesWorkers value; a cancelled run
+// returns run.Err() before any noise is drawn.
+func PrivateTrianglesCtx(run *pipeline.Run, g *graph.Graph, eps, delta float64, rng *randx.Rand) (Result, error) {
+	done := run.Stage("triangle-release")
 	beta := BetaFor(eps, delta)
-	ss := SmoothWorkers(g, beta, workers)
+	ss, err := SmoothCtx(run, g, beta)
+	if err != nil {
+		return Result{}, err
+	}
 	scale := 2 * ss / eps
-	exact := stats.TrianglesWorkers(g, workers)
+	exact, err := stats.TrianglesCtx(run, g)
+	if err != nil {
+		return Result{}, err
+	}
+	done()
 	return Result{
 		Noisy:     float64(exact) + rng.Laplace(scale),
 		Exact:     exact,
 		SmoothSen: ss,
 		Beta:      beta,
 		Scale:     scale,
-	}
+	}, nil
 }

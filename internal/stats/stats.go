@@ -18,6 +18,7 @@ import (
 
 	"dpkron/internal/graph"
 	"dpkron/internal/parallel"
+	"dpkron/internal/pipeline"
 )
 
 // Features holds the four matching statistics of the observed graph in
@@ -40,12 +41,35 @@ func FeaturesOf(g *graph.Graph) Features {
 // workers goroutines (<= 0 selects runtime.GOMAXPROCS(0)). The result
 // is identical for every worker count.
 func FeaturesOfWorkers(g *graph.Graph, workers int) Features {
+	f, _ := FeaturesOfCtx(pipeline.New(nil, workers, nil), g)
+	return f
+}
+
+// FeaturesOfCtx is FeaturesOf under a pipeline Run: each counter's
+// vertex fan-out checks the context between shards, and a "features"
+// stage event pair is emitted. A run that is never cancelled computes
+// the exact FeaturesOf vector; a cancelled run returns run.Err().
+func FeaturesOfCtx(run *pipeline.Run, g *graph.Graph) (Features, error) {
+	done := run.Stage("features")
+	wedges, err := WedgesCtx(run, g)
+	if err != nil {
+		return Features{}, err
+	}
+	tripins, err := TripinsCtx(run, g)
+	if err != nil {
+		return Features{}, err
+	}
+	tri, err := TrianglesCtx(run, g)
+	if err != nil {
+		return Features{}, err
+	}
+	done()
 	return Features{
 		E:     float64(g.NumEdges()),
-		H:     float64(WedgesWorkers(g, workers)),
-		T:     float64(TripinsWorkers(g, workers)),
-		Delta: float64(TrianglesWorkers(g, workers)),
-	}
+		H:     float64(wedges),
+		T:     float64(tripins),
+		Delta: float64(tri),
+	}, nil
 }
 
 // FeaturesFromDegrees computes the three degree-derived features from a
@@ -68,7 +92,13 @@ func Wedges(g *graph.Graph) int64 { return WedgesWorkers(g, 0) }
 
 // WedgesWorkers is Wedges sharded over vertex ranges.
 func WedgesWorkers(g *graph.Graph, workers int) int64 {
-	return parallel.SumInt64(parallel.Workers(workers), g.NumNodes(), func(lo, hi int) int64 {
+	v, _ := WedgesCtx(pipeline.New(nil, workers, nil), g)
+	return v
+}
+
+// WedgesCtx is Wedges under a pipeline Run.
+func WedgesCtx(run *pipeline.Run, g *graph.Graph) (int64, error) {
+	return parallel.SumInt64Ctx(run.Context(), run.Workers(), g.NumNodes(), func(lo, hi int) int64 {
 		var total int64
 		for v := lo; v < hi; v++ {
 			d := int64(g.Degree(v))
@@ -83,7 +113,13 @@ func Tripins(g *graph.Graph) int64 { return TripinsWorkers(g, 0) }
 
 // TripinsWorkers is Tripins sharded over vertex ranges.
 func TripinsWorkers(g *graph.Graph, workers int) int64 {
-	return parallel.SumInt64(parallel.Workers(workers), g.NumNodes(), func(lo, hi int) int64 {
+	v, _ := TripinsCtx(pipeline.New(nil, workers, nil), g)
+	return v
+}
+
+// TripinsCtx is Tripins under a pipeline Run.
+func TripinsCtx(run *pipeline.Run, g *graph.Graph) (int64, error) {
+	return parallel.SumInt64Ctx(run.Context(), run.Workers(), g.NumNodes(), func(lo, hi int) int64 {
 		var total int64
 		for v := lo; v < hi; v++ {
 			d := int64(g.Degree(v))
@@ -102,7 +138,13 @@ func Triangles(g *graph.Graph) int64 { return TrianglesWorkers(g, 0) }
 // counts the triangles anchored at its smallest-vertex range, so shard
 // totals are disjoint and their sum is exact.
 func TrianglesWorkers(g *graph.Graph, workers int) int64 {
-	return parallel.SumInt64(parallel.Workers(workers), g.NumNodes(), func(lo, hi int) int64 {
+	v, _ := TrianglesCtx(pipeline.New(nil, workers, nil), g)
+	return v
+}
+
+// TrianglesCtx is Triangles under a pipeline Run.
+func TrianglesCtx(run *pipeline.Run, g *graph.Graph) (int64, error) {
+	return parallel.SumInt64Ctx(run.Context(), run.Workers(), g.NumNodes(), func(lo, hi int) int64 {
 		var total int64
 		for u := lo; u < hi; u++ {
 			nu := g.Neighbors(u)
@@ -153,7 +195,7 @@ func TrianglesPerNode(g *graph.Graph) []int64 { return TrianglesPerNodeWorkers(g
 // for every worker count.
 func TrianglesPerNodeWorkers(g *graph.Graph, workers int) []int64 {
 	n := g.NumNodes()
-	w := parallel.Workers(workers)
+	w := parallel.Normalize(workers)
 	blocks := parallel.Blocks(n, parallel.DefaultShards)
 	if w > len(blocks) {
 		w = len(blocks)
@@ -346,8 +388,18 @@ func HopPlot(g *graph.Graph) []int64 { return HopPlotWorkers(g, 0) }
 // are summed afterwards, so the result is identical for every worker
 // count.
 func HopPlotWorkers(g *graph.Graph, workers int) []int64 {
+	hop, _ := HopPlotCtx(pipeline.New(nil, workers, nil), g)
+	return hop
+}
+
+// HopPlotCtx is HopPlot under a pipeline Run: the per-source BFS sweep
+// checks the context between source blocks and a "hop-plot" stage event
+// pair is emitted. A run that is never cancelled computes the exact
+// HopPlot; a cancelled run returns run.Err().
+func HopPlotCtx(run *pipeline.Run, g *graph.Graph) ([]int64, error) {
+	done := run.Stage("hop-plot")
 	n := g.NumNodes()
-	w := parallel.Workers(workers)
+	w := run.Workers()
 	blocks := parallel.Blocks(n, parallel.DefaultShards)
 	if w > len(blocks) {
 		w = len(blocks)
@@ -361,7 +413,7 @@ func HopPlotWorkers(g *graph.Graph, workers int) []int64 {
 	for i := range parts {
 		parts[i] = scratch{dist: make([]int32, n), queue: make([]int32, 0, n)}
 	}
-	parallel.RunIndexed(w, len(blocks), func(worker, sh int) {
+	err := parallel.RunIndexedCtx(run.Context(), w, len(blocks), func(worker, sh int) {
 		sc := &parts[worker]
 		dist, queue := sc.dist, sc.queue
 		for s := blocks[sh].Lo; s < blocks[sh].Hi; s++ {
@@ -387,6 +439,9 @@ func HopPlotWorkers(g *graph.Graph, workers int) []int64 {
 		}
 		sc.queue = queue
 	})
+	if err != nil {
+		return nil, err
+	}
 	var pairsAt []int64
 	for _, p := range parts {
 		grow(&pairsAt, len(p.pairsAt)-1)
@@ -401,7 +456,8 @@ func HopPlotWorkers(g *graph.Graph, workers int) []int64 {
 		acc += c
 		out[h] = acc
 	}
-	return out
+	done()
+	return out, nil
 }
 
 func grow(s *[]int64, idx int) {

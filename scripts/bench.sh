@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
 # Runs the perf-trajectory benchmarks (graph construction, KronFit
-# Metropolis, ball dropping — the hot paths optimized in PR 2) and
-# writes their numbers to BENCH_2.json so future PRs have a recorded
-# trajectory to compare against.
+# Metropolis, ball dropping — the hot paths optimized in PR 2 — plus
+# PR 3's pipeline-overhead pairs) and writes their numbers to
+# BENCH_3.json so future PRs have a recorded trajectory to compare
+# against.
 #
 # Usage: scripts/bench.sh [output.json]
 #
 # Environment:
 #   BENCHTIME   go test -benchtime value (default 3x)
-#   BASELINE    optional path to a previous BENCH_2.json whose ns/op
+#   BASELINE    optional path to a previous BENCH_*.json whose ns/op
 #               numbers become the "baseline_ns_op" fields; without it,
 #               the pre-PR-2 numbers hardcoded below (sort.Slice Build,
 #               per-edge math.Exp KronFit, map-based ball dropping,
@@ -18,15 +19,21 @@
 #               measured at; at other benchtimes (e.g. CI's 1x smoke on
 #               a shared runner) the ratios would be cross-machine
 #               noise, so baseline/speedup fields are omitted.
+#
+# The PipelineOverhead family is emitted as matched plain/ctx pairs and
+# summarized in a "pipeline_overhead" section: ctx_over_plain is the
+# ns/op ratio of the context-aware path to the historical blocking path
+# on the same workload (PR 3's acceptance bound is <= 1.02 at a
+# statistically meaningful benchtime).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_2.json}"
+out="${1:-BENCH_3.json}"
 benchtime="${BENCHTIME:-3x}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run=NONE -bench='GraphBuild|KronFitMetropolis|BallDropN' \
+go test -run=NONE -bench='GraphBuild|KronFitMetropolis|BallDropN|PipelineOverhead' \
   -benchtime="$benchtime" -count=1 . | tee "$raw" >&2
 
 awk -v benchtime="$benchtime" -v baseline_json="${BASELINE:-}" '
@@ -60,7 +67,7 @@ BEGIN {
   }
   n = 0
 }
-/^Benchmark(GraphBuild|KronFitMetropolis|BallDropN)\// {
+/^Benchmark(GraphBuild|KronFitMetropolis|BallDropN|PipelineOverhead)\// {
   name = $1
   sub(/^Benchmark/, "", name)
   sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
@@ -72,6 +79,7 @@ BEGIN {
   }
   if (ns == "") next
   names[n] = name; nss[n] = ns; bs[n] = bytes; as[n] = allocs
+  ns_by_name[name] = ns
   n++
 }
 /^PASS|^ok / { status = $0 }
@@ -83,7 +91,7 @@ END {
   "go env GOVERSION" | getline gover
   "date -u +%Y-%m-%dT%H:%M:%SZ" | getline stamp
   printf "{\n"
-  printf "  \"pr\": 2,\n"
+  printf "  \"pr\": 3,\n"
   printf "  \"generated\": \"%s\",\n", stamp
   printf "  \"go\": \"%s\",\n", gover
   printf "  \"benchtime\": \"%s\",\n", benchtime
@@ -96,6 +104,31 @@ END {
     if (!skip_base && names[i] in base)
       printf ", \"baseline_ns_op\": %.0f, \"speedup\": %.2f", base[names[i]], base[names[i]] / nss[i]
     printf "}%s\n", (i < n - 1 ? "," : "")
+  }
+  printf "  ],\n"
+  # Matched plain/ctx pairs -> ctx/plain overhead ratios.
+  printf "  \"pipeline_overhead\": [\n"
+  np = 0
+  for (name in ns_by_name) {
+    if (name ~ /^PipelineOverhead\/.*-plain$/) {
+      stem = name
+      sub(/-plain$/, "", stem)
+      ctxname = stem "-ctx"
+      if (ctxname in ns_by_name) pairs[np++] = stem
+    }
+  }
+  # Sort stems for stable output.
+  for (i = 0; i < np; i++)
+    for (j = i + 1; j < np; j++)
+      if (pairs[j] < pairs[i]) { tmp = pairs[i]; pairs[i] = pairs[j]; pairs[j] = tmp }
+  for (i = 0; i < np; i++) {
+    stem = pairs[i]
+    short = stem
+    sub(/^PipelineOverhead\//, "", short)
+    plain = ns_by_name[stem "-plain"] + 0
+    ctx = ns_by_name[stem "-ctx"] + 0
+    printf "    {\"workload\": \"%s\", \"plain_ns_op\": %.0f, \"ctx_ns_op\": %.0f, \"ctx_over_plain\": %.4f}%s\n", \
+      short, plain, ctx, ctx / plain, (i < np - 1 ? "," : "")
   }
   printf "  ]\n}\n"
 }' "$raw" > "$out"
