@@ -25,9 +25,11 @@ import (
 	"testing"
 
 	"dpkron"
+	"dpkron/internal/accountant"
 	"dpkron/internal/anf"
 	"dpkron/internal/core"
 	"dpkron/internal/degseq"
+	"dpkron/internal/dp"
 	"dpkron/internal/experiments"
 	"dpkron/internal/graph"
 	"dpkron/internal/kronfit"
@@ -357,6 +359,96 @@ func BenchmarkPipelineOverhead(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := kronfit.FitCtx(run, kg, kronfit.Options{K: 12, Iters: 1, Rng: randx.New(uint64(i) + 1)}); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Mechanism-dispatch benchmarks (scripts/bench.sh → BENCH_4.json) ---
+//
+// Each pair runs one real release unit of the codebase directly
+// ("direct": the historical dp.Laplace*/smoothsens path) and through
+// the accounted mechanism handle ("accounted": charge recorded on a
+// live accountant, then the identical draws). The pair granularity is
+// the release the accountant actually meters — a whole degree-sequence
+// vector, a whole triangle release — because that is where PR 4's
+// ≤ 2% dispatch-overhead bound applies; scripts/bench.sh computes the
+// ratios into BENCH_4.json's mechanism_dispatch section.
+
+func BenchmarkMechanismDispatch(b *testing.B) {
+	vals := make([]float64, 1<<12)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	b.Run("laplacevec-n4096-direct", func(b *testing.B) {
+		rng := randx.New(5)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if out := dp.LaplaceVec(vals, 2, 0.5, rng); len(out) != len(vals) {
+				b.Fatal("bad release")
+			}
+		}
+	})
+	b.Run("laplacevec-n4096-accounted", func(b *testing.B) {
+		rng := randx.New(5)
+		acc := accountant.New(nil)
+		mech := accountant.LaplaceVec{Sens: 2, Eps: 0.5}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := acc.Charge("bench/laplacevec", mech); err != nil {
+				b.Fatal(err)
+			}
+			if out := mech.Apply(vals, rng); len(out) != len(vals) {
+				b.Fatal("bad release")
+			}
+		}
+	})
+
+	dg := featureGraph(b, 12, 1<<15)
+	b.Run("degseq-k12-direct", func(b *testing.B) {
+		rng := randx.New(7)
+		for i := 0; i < b.N; i++ {
+			if out := degseq.Private(dg, 0.25, rng); len(out) != dg.NumNodes() {
+				b.Fatal("bad release")
+			}
+		}
+	})
+	b.Run("degseq-k12-accounted", func(b *testing.B) {
+		rng := randx.New(7)
+		acc := accountant.New(nil)
+		for i := 0; i < b.N; i++ {
+			out, err := degseq.PrivateAcc(acc, dg, 0.25, rng)
+			if err != nil || len(out) != dg.NumNodes() {
+				b.Fatal("bad release", err)
+			}
+		}
+	})
+
+	// Both triangle legs run under the same live Run so the pair
+	// isolates accounting overhead from the (separately benchmarked)
+	// pipeline overhead. A k=8 release (~300 µs: sensitivity scan +
+	// exact count + one draw) keeps each leg short enough that machine
+	// drift between the paired legs stays below the ratio being
+	// measured.
+	tg := featureGraph(b, 8, 1<<11)
+	b.Run("triangles-k8-direct", func(b *testing.B) {
+		rng := randx.New(9)
+		run := liveRun(b, 1)
+		for i := 0; i < b.N; i++ {
+			tri, err := smoothsens.PrivateTrianglesCtx(run, tg, 0.25, 0.01, rng)
+			if err != nil || tri.Exact == 0 {
+				b.Fatal("bad release", err)
+			}
+		}
+	})
+	b.Run("triangles-k8-accounted", func(b *testing.B) {
+		rng := randx.New(9)
+		acc := accountant.New(nil)
+		run := liveRun(b, 1)
+		for i := 0; i < b.N; i++ {
+			tri, err := smoothsens.PrivateTrianglesAccCtx(run, acc, tg, 0.25, 0.01, rng)
+			if err != nil || tri.Exact == 0 {
+				b.Fatal("bad release", err)
 			}
 		}
 	})

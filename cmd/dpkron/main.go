@@ -13,7 +13,8 @@
 //	dpkron sweep   [-dataset NAME] [-trials N]
 //	dpkron ssgrowth [-kmin K] [-kmax K]
 //	dpkron sscompare [-kmin K] [-kmax K]
-//	dpkron serve   [-addr HOST:PORT] [-max-jobs N]
+//	dpkron serve   [-addr HOST:PORT] [-max-jobs N] [-ledger FILE]
+//	dpkron budget  <show|set|reset> -ledger FILE [-dataset ID] [-eps E] [-delta D]
 //	dpkron datasets
 //
 // Every long-running command accepts the shared pipeline flags:
@@ -40,7 +41,9 @@ import (
 	"syscall"
 	"time"
 
+	"dpkron/internal/accountant"
 	"dpkron/internal/core"
+	"dpkron/internal/dp"
 	"dpkron/internal/experiments"
 	"dpkron/internal/graph"
 	"dpkron/internal/kronfit"
@@ -101,6 +104,18 @@ func addPipeFlags(fs *flag.FlagSet) pipeFlags {
 		progress: fs.Bool("progress", false,
 			"print pipeline stage progress lines to stderr"),
 	}
+}
+
+// validateBudget enforces the shared ε/δ flag contract uniformly
+// across subcommands through dp.Budget.Validate: ε must be positive
+// and finite, δ in [0, 1). Violations exit 2 with usage text, like any
+// other flag error, instead of surfacing as a runtime failure deep
+// inside the run.
+func validateBudget(fs *flag.FlagSet, eps, delta float64) error {
+	if err := (dp.Budget{Eps: eps, Delta: delta}).Validate(); err != nil {
+		return usagef(fs, "%v", err)
+	}
+	return nil
 }
 
 // newRun materializes the pipeline Run for a command: a context that
@@ -169,6 +184,8 @@ func main() {
 		err = cmdSSCompare(args)
 	case "serve":
 		err = cmdServe(args)
+	case "budget":
+		err = cmdBudget(args)
 	case "datasets":
 		err = cmdDatasets(args)
 	case "help", "-h", "--help":
@@ -201,6 +218,7 @@ commands:
   ssgrowth   smooth sensitivity of triangles vs graph size
   sscompare  smooth sensitivity: SKG vs density-matched G(n,p)
   serve      run the HTTP/JSON estimation job service
+  budget     show, set or reset a privacy-budget ledger
   datasets   list the built-in evaluation datasets
 
 shared flags (all long-running commands):
@@ -218,6 +236,9 @@ func cmdTable1(args []string) error {
 	iters := fs.Int("kronfit-iters", 60, "KronFit gradient iterations")
 	pf := addPipeFlags(fs)
 	if err := parse(fs, args); err != nil {
+		return err
+	}
+	if err := validateBudget(fs, *eps, *delta); err != nil {
 		return err
 	}
 	run, cancel := pf.newRun()
@@ -242,6 +263,9 @@ func cmdFigure(args []string) error {
 	seed := fs.Uint64("seed", 11, "random seed")
 	pf := addPipeFlags(fs)
 	if err := parse(fs, args); err != nil {
+		return err
+	}
+	if err := validateBudget(fs, *eps, *delta); err != nil {
 		return err
 	}
 	d, err := experiments.Lookup(*name)
@@ -328,12 +352,17 @@ func cmdFit(args []string) error {
 	delta := fs.Float64("delta", 0.01, "delta (private)")
 	k := fs.Int("k", 0, "Kronecker power (0 = infer)")
 	seed := fs.Uint64("seed", 1, "random seed")
+	ledgerPath := fs.String("ledger", "", "privacy-budget ledger file; private fits are debited against it")
+	dataset := fs.String("dataset", "", "ledger dataset id (default: content fingerprint of the input graph)")
 	pf := addPipeFlags(fs)
 	if err := parse(fs, args); err != nil {
 		return err
 	}
 	if *in == "" {
 		return usagef(fs, "-in is required")
+	}
+	if err := validateBudget(fs, *eps, *delta); err != nil {
+		return err
 	}
 	run, cancel := pf.newRun()
 	defer cancel()
@@ -344,7 +373,26 @@ func cmdFit(args []string) error {
 	rng := randx.New(*seed)
 	switch strings.ToLower(*method) {
 	case "private":
-		res, err := core.EstimateCtx(run, g, core.Options{Eps: *eps, Delta: *delta, K: *k, Rng: rng})
+		// Ledger enforcement mirrors the server: debit the full
+		// requested budget up front (Algorithm 1's schedule is
+		// data-independent), run under an accountant capped at exactly
+		// that debit, and never refund — a failed run may already have
+		// drawn noise.
+		var led *accountant.Ledger
+		ds := *dataset
+		if *ledgerPath != "" {
+			if led, err = accountant.Open(*ledgerPath); err != nil {
+				return err
+			}
+			if ds == "" {
+				ds = accountant.DatasetID(g)
+			}
+			if err := led.Spend(ds, core.PlannedReceipt(*eps, *delta)); err != nil {
+				return err
+			}
+		}
+		acc := accountant.New(nil).WithLimit(dp.Budget{Eps: *eps, Delta: *delta})
+		res, err := core.EstimateCtx(run, g, core.Options{Eps: *eps, Delta: *delta, K: *k, Rng: rng, Accountant: acc})
 		if err != nil {
 			return err
 		}
@@ -352,7 +400,14 @@ func cmdFit(args []string) error {
 		fmt.Printf("private features:  E=%.1f H=%.1f T=%.1f Delta=%.1f\n",
 			res.Features.E, res.Features.H, res.Features.T, res.Features.Delta)
 		for _, c := range res.Charges {
-			fmt.Printf("  budget: %-40s %s\n", c.Label, c.Budget)
+			fmt.Printf("  budget: %-40s %s %s\n", c.Query, c.Mechanism, c.Budget())
+		}
+		if led != nil {
+			fmt.Printf("  ledger: dataset %s, remaining %s\n", ds, led.Remaining(ds))
+		}
+		if *pf.progress {
+			fmt.Fprintf(os.Stderr, "[budget] spent %s across %d mechanism charges\n",
+				res.Receipt.Total, len(res.Receipt.Charges))
 		}
 	case "mom":
 		res, err := kronmom.FitGraphCtx(run, g, *k, kronmom.Options{Rng: rng})
@@ -473,6 +528,10 @@ func cmdSweep(args []string) error {
 	if err := parse(fs, args); err != nil {
 		return err
 	}
+	// The sweep's epsilons are fixed; only -delta needs the shared check.
+	if err := validateBudget(fs, 1, *delta); err != nil {
+		return err
+	}
 	d, err := experiments.Lookup(*name)
 	if err != nil {
 		return err
@@ -504,6 +563,9 @@ func cmdSSGrowth(args []string) error {
 	if err := parse(fs, args); err != nil {
 		return err
 	}
+	if err := validateBudget(fs, *eps, *delta); err != nil {
+		return err
+	}
 	var ks []int
 	for k := *kmin; k <= *kmax; k++ {
 		ks = append(ks, k)
@@ -529,6 +591,9 @@ func cmdSSCompare(args []string) error {
 	if err := parse(fs, args); err != nil {
 		return err
 	}
+	if err := validateBudget(fs, *eps, *delta); err != nil {
+		return err
+	}
 	var ks []int
 	for k := *kmin; k <= *kmax; k++ {
 		ks = append(ks, k)
@@ -549,11 +614,20 @@ func cmdServe(args []string) error {
 	maxJobs := fs.Int("max-jobs", 2, "concurrently running jobs (worker budget is split across them)")
 	maxQueue := fs.Int("max-queue", 32, "bound on admitted unfinished jobs (429 beyond it)")
 	maxHistory := fs.Int("max-history", 256, "finished jobs retained for polling before eviction")
+	ledgerPath := fs.String("ledger", "", "privacy-budget ledger file; enables per-dataset enforcement of private fits")
 	pf := addPipeFlags(fs) // -workers, -timeout (server lifetime), -progress (job event log)
 	if err := parse(fs, args); err != nil {
 		return err
 	}
 	opts := server.Options{Workers: *pf.workers, MaxJobs: *maxJobs, MaxQueue: *maxQueue, MaxHistory: *maxHistory}
+	if *ledgerPath != "" {
+		led, err := accountant.Open(*ledgerPath)
+		if err != nil {
+			return err
+		}
+		opts.Ledger = led
+		fmt.Fprintf(os.Stderr, "dpkron serve: enforcing privacy budgets from %s\n", led.Path())
+	}
 	if *pf.progress {
 		// Event streams are serialized per job but concurrent across
 		// jobs; one mutex keeps the shared stderr renderer safe.
@@ -599,6 +673,75 @@ func cmdServe(args []string) error {
 		defer cancel()
 		return httpSrv.Shutdown(shutCtx)
 	}
+}
+
+// cmdBudget manages privacy-budget ledgers: `dpkron budget show` lists
+// accounts (budget, spent, remaining, receipts), `set` configures a
+// dataset's allowance, and `reset` zeroes its spend. The same ledger
+// file drives `fit -ledger` and `serve -ledger` enforcement.
+func cmdBudget(args []string) error {
+	fs := newFlagSet("budget")
+	ledgerPath := fs.String("ledger", "", "ledger file (required)")
+	dataset := fs.String("dataset", "", "dataset id (required for set/reset; filters show)")
+	eps := fs.Float64("eps", 0, "total epsilon allowance (set)")
+	delta := fs.Float64("delta", 0, "total delta allowance (set)")
+	action := "show"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		action, args = args[0], args[1:]
+	}
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	switch action {
+	case "show", "set", "reset":
+	default:
+		return usagef(fs, "unknown action %q (want show, set or reset)", action)
+	}
+	if *ledgerPath == "" {
+		return usagef(fs, "-ledger is required")
+	}
+	if action != "show" && *dataset == "" {
+		return usagef(fs, "-dataset is required for %s", action)
+	}
+	if action == "set" {
+		if err := validateBudget(fs, *eps, *delta); err != nil {
+			return err
+		}
+	}
+	led, err := accountant.Open(*ledgerPath)
+	if err != nil {
+		return err
+	}
+	switch action {
+	case "set":
+		if err := led.SetBudget(*dataset, dp.Budget{Eps: *eps, Delta: *delta}); err != nil {
+			return err
+		}
+		fmt.Printf("dataset %s: budget set to %s\n", *dataset, dp.Budget{Eps: *eps, Delta: *delta})
+	case "reset":
+		if err := led.Reset(*dataset); err != nil {
+			return err
+		}
+		fmt.Printf("dataset %s: spend reset\n", *dataset)
+	case "show":
+		ids := led.Datasets()
+		if *dataset != "" {
+			ids = []string{*dataset}
+		}
+		if len(ids) == 0 {
+			fmt.Printf("ledger %s: no datasets (configure one with `dpkron budget set`)\n", led.Path())
+			return nil
+		}
+		for _, id := range ids {
+			acct, ok := led.Account(id)
+			if !ok {
+				return fmt.Errorf("unknown dataset %q", id)
+			}
+			fmt.Printf("dataset %s  budget %s  spent %s  remaining %s  receipts %d\n",
+				id, acct.Budget, acct.Spent, acct.Remaining(), len(acct.Receipts))
+		}
+	}
+	return nil
 }
 
 func cmdDatasets(args []string) error {

@@ -157,6 +157,21 @@ func TestCLIUsageExitCodes(t *testing.T) {
 		{[]string{"fit", "-in", "/nonexistent"}, 1},      // runtime error
 		{[]string{"figure", "-dataset", "bogus"}, 1},     // runtime error
 		{[]string{"fit", "-in", "-", "-method", "x"}, 2}, // bad enum value
+		// The shared ε/δ flag contract: every subcommand rejects
+		// non-positive/NaN eps and delta outside [0, 1) uniformly, at
+		// flag level (exit 2), via dp.Budget.Validate.
+		{[]string{"fit", "-in", "-", "-eps", "-1"}, 2},
+		{[]string{"fit", "-in", "-", "-eps", "NaN"}, 2},
+		{[]string{"fit", "-in", "-", "-delta", "1.5"}, 2},
+		{[]string{"fit", "-in", "-", "-method", "mom", "-eps", "0"}, 2},
+		{[]string{"table1", "-eps", "0"}, 2},
+		{[]string{"figure", "-delta", "-0.1"}, 2},
+		{[]string{"sweep", "-delta", "2"}, 2},
+		{[]string{"ssgrowth", "-eps", "-3"}, 2},
+		{[]string{"sscompare", "-delta", "1"}, 2},
+		{[]string{"budget", "set", "-ledger", "/tmp/x.json", "-dataset", "d", "-eps", "-1"}, 2},
+		{[]string{"budget", "bogus", "-ledger", "/tmp/x.json"}, 2},
+		{[]string{"budget", "show"}, 2}, // missing -ledger
 	} {
 		code, out := exitCode(t, bin, "0 1\n", tc.args...)
 		if code != tc.want {
@@ -198,6 +213,63 @@ func TestCLIStdinAndPipelineFlags(t *testing.T) {
 	code, out = exitCode(t, bin, "", "table1", "-timeout", "1ms")
 	if code != 1 || !strings.Contains(out, "context deadline exceeded") {
 		t.Errorf("table1 -timeout 1ms: exit %d, want 1 with deadline error\n%s", code, out)
+	}
+}
+
+// TestCLIBudgetWorkflow walks the ledger lifecycle end to end: set a
+// budget, fit against it until exhaustion, observe the refusal, show
+// the spend, reset, and fit again.
+func TestCLIBudgetWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	edge := filepath.Join(dir, "g.txt")
+	ledger := filepath.Join(dir, "ledger.json")
+	run(t, bin, "generate", "-a", "0.95", "-b", "0.5", "-c", "0.3", "-k", "8", "-seed", "2", "-out", edge)
+
+	// Default-deny: fitting against a ledger with no configured budget
+	// is refused (exit 1, not a crash) and names the fingerprint id.
+	code, out := exitCode(t, bin, "", "fit", "-in", edge, "-ledger", ledger, "-eps", "0.2", "-delta", "0.01")
+	if code != 1 || !strings.Contains(out, "budget exhausted") || !strings.Contains(out, "ds-") {
+		t.Fatalf("unbudgeted ledger fit: exit %d\n%s", code, out)
+	}
+
+	// Budget for exactly two (0.2, 0.01) fits under dataset "mygraph".
+	out = run(t, bin, "budget", "set", "-ledger", ledger, "-dataset", "mygraph", "-eps", "0.45", "-delta", "0.05")
+	if !strings.Contains(out, "budget set to (0.45, 0.05)-DP") {
+		t.Fatalf("budget set output: %s", out)
+	}
+	for i := 0; i < 2; i++ {
+		out = run(t, bin, "fit", "-in", edge, "-ledger", ledger, "-dataset", "mygraph",
+			"-eps", "0.2", "-delta", "0.01", "-progress")
+		if !strings.Contains(out, "ledger: dataset mygraph, remaining") {
+			t.Fatalf("fit %d output lacks ledger line:\n%s", i, out)
+		}
+		// The -progress summary reports the receipt total.
+		if !strings.Contains(out, "[budget] spent (0.2, 0.01)-DP across 2 mechanism charges") {
+			t.Fatalf("fit %d output lacks budget summary:\n%s", i, out)
+		}
+	}
+
+	// Third fit: remaining (0.05, 0.03) cannot cover (0.2, 0.01).
+	code, out = exitCode(t, bin, "", "fit", "-in", edge, "-ledger", ledger, "-dataset", "mygraph",
+		"-eps", "0.2", "-delta", "0.01")
+	if code != 1 || !strings.Contains(out, "budget exhausted") {
+		t.Fatalf("over-budget fit: exit %d\n%s", code, out)
+	}
+
+	// show reports the account; reset reopens it.
+	out = run(t, bin, "budget", "show", "-ledger", ledger, "-dataset", "mygraph")
+	if !strings.Contains(out, "spent (0.4, 0.02)-DP") || !strings.Contains(out, "receipts 2") {
+		t.Fatalf("budget show output: %s", out)
+	}
+	run(t, bin, "budget", "reset", "-ledger", ledger, "-dataset", "mygraph")
+	out = run(t, bin, "fit", "-in", edge, "-ledger", ledger, "-dataset", "mygraph",
+		"-eps", "0.2", "-delta", "0.01")
+	if !strings.Contains(out, "private initiator:") {
+		t.Fatalf("post-reset fit output: %s", out)
 	}
 }
 

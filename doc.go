@@ -20,8 +20,18 @@
 //
 // The released Result carries the private initiator Θ̃, the private
 // feature counts, the noisy degree sequence and a per-mechanism privacy
-// accounting; everything except Result.Triangles.Exact is safe to
-// publish under the composed (ε, δ) guarantee.
+// accounting (Result.Receipt); everything except Result.Triangles.Exact
+// is safe to publish under the composed (ε, δ) guarantee.
+//
+// # Privacy budgeting
+//
+// The per-release guarantee composes across releases: fitting the same
+// graph twice spends twice. A persistent Ledger (OpenLedger) bounds the
+// cumulative spend per dataset — give a dataset a total (ε, δ)
+// allowance, debit each fit's PlannedReceipt before running it, and the
+// ledger refuses the debit once the allowance cannot cover it. See
+// ExampleOpenLedger, and the Accountant type for in-process metering
+// with pluggable composition policies.
 //
 // The experiment harness that regenerates the paper's Table 1 and
 // Figures 1–4 lives in cmd/dpkron and the repository-root benchmarks.

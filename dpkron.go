@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"dpkron/internal/accountant"
 	"dpkron/internal/anf"
 	"dpkron/internal/core"
 	"dpkron/internal/dp"
@@ -36,6 +37,21 @@ type (
 	Features = stats.Features
 	// Budget is an (ε, δ) differential privacy guarantee.
 	Budget = dp.Budget
+	// Accountant records mechanism charges, composes them under a
+	// pluggable policy, and can refuse charges beyond a limit.
+	Accountant = accountant.Accountant
+	// Charge is one recorded mechanism invocation (query, mechanism,
+	// calibration, price).
+	Charge = accountant.Charge
+	// Receipt is the machine-readable spend record of a release:
+	// itemized charges plus the composed total.
+	Receipt = accountant.Receipt
+	// Ledger is a persistent per-dataset privacy-budget store that
+	// refuses spends once a dataset's configured budget is exhausted.
+	Ledger = accountant.Ledger
+	// LedgerAccount is one dataset's ledger entry (budget, spend,
+	// receipts).
+	LedgerAccount = accountant.Account
 	// PrivateOptions configures the paper's Algorithm 1.
 	PrivateOptions = core.Options
 	// PrivateResult is the (ε, δ)-DP estimation outcome.
@@ -65,6 +81,26 @@ type (
 
 // NewRand returns a deterministic random source for the given seed.
 func NewRand(seed uint64) *Rand { return randx.New(seed) }
+
+// NewAccountant returns an unlimited sequential-composition
+// accountant; cap it with WithLimit to enforce a budget. Pass it via
+// PrivateOptions.Accountant to meter one or many estimation runs.
+func NewAccountant() *Accountant { return accountant.New(nil) }
+
+// OpenLedger loads (or initializes) the persistent privacy-budget
+// ledger at path. Budgets are per dataset; see DatasetID.
+func OpenLedger(path string) (*Ledger, error) { return accountant.Open(path) }
+
+// DatasetID returns the stable content-addressed ledger id of g: two
+// byte-identical graphs map to the same id in every process, so spend
+// accrues across fits and restarts.
+func DatasetID(g *Graph) string { return accountant.DatasetID(g) }
+
+// PlannedReceipt returns the exact receipt EstimatePrivate will
+// produce for a total budget (eps, delta), without touching any data:
+// Algorithm 1's charge schedule is data-independent, so a ledger can
+// be debited before the run is admitted.
+func PlannedReceipt(eps, delta float64) Receipt { return core.PlannedReceipt(eps, delta) }
 
 // NewRun returns a pipeline Run over ctx (nil means background) with
 // the given worker budget (<= 0 selects all cores) and optional

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -61,6 +63,52 @@ func ExampleEstimatePrivate() {
 	// guarantee: (0.2, 0.01)-DP
 	// kronecker power: 10
 	// mechanisms charged: 2
+}
+
+// ExampleOpenLedger is the privacy-budgeting workflow: a data owner
+// gives a sensitive graph a total (ε, δ) allowance in a persistent
+// ledger, then fits against it until the budget runs dry. Each fit is
+// debited before it runs (Algorithm 1's charge schedule is known
+// upfront), so the third request here is refused — the composed spend
+// across releases, not any single release, is what the ledger bounds.
+func ExampleOpenLedger() {
+	dir, err := os.MkdirTemp("", "dpkron-ledger")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	model, _ := dpkron.NewModel(dpkron.Initiator{A: 0.99, B: 0.55, C: 0.35}, 9)
+	sensitive := model.Sample(dpkron.NewRand(1))
+
+	led, err := dpkron.OpenLedger(filepath.Join(dir, "ledger.json"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := dpkron.DatasetID(sensitive)
+	// Total allowance: (0.625, 0.02) — room for two (0.25, 0.01) fits.
+	if err := led.SetBudget(ds, dpkron.Budget{Eps: 0.625, Delta: 0.02}); err != nil {
+		log.Fatal(err)
+	}
+
+	for i := 1; i <= 3; i++ {
+		// Debit first; a refusal means the mechanisms never run.
+		if err := led.Spend(ds, dpkron.PlannedReceipt(0.25, 0.01)); err != nil {
+			fmt.Printf("fit %d: refused, remaining %s\n", i, led.Remaining(ds))
+			continue
+		}
+		res, err := dpkron.EstimatePrivate(sensitive, dpkron.PrivateOptions{
+			Eps: 0.25, Delta: 0.01, Rng: dpkron.NewRand(uint64(i)),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fit %d: spent %s, remaining %s\n", i, res.Privacy, led.Remaining(ds))
+	}
+	// Output:
+	// fit 1: spent (0.25, 0.01)-DP, remaining (0.375, 0.01)-DP
+	// fit 2: spent (0.25, 0.01)-DP, remaining (0.125, 0)-DP
+	// fit 3: refused, remaining (0.125, 0)-DP
 }
 
 // ExampleEstimatePrivateCtx runs Algorithm 1 under a pipeline Run: the

@@ -143,7 +143,7 @@ func TestPrivacyBudgetNeverUnderReported(t *testing.T) {
 		}
 		var sum dpkron.Budget
 		for _, c := range res.Charges {
-			sum = dp.Compose(sum, c.Budget)
+			sum = dp.Compose(sum, c.Budget())
 		}
 		if math.Abs(sum.Eps-res.Privacy.Eps) > 1e-12 || math.Abs(sum.Delta-res.Privacy.Delta) > 1e-12 {
 			t.Fatalf("itemized %v != total %v", sum, res.Privacy)

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package accountant
+
+// lockFile is a no-op on platforms without flock: the Ledger still
+// serializes all in-process access through its mutex and re-reads the
+// file before every operation, but cross-process mutual exclusion is
+// not guaranteed — run a single ledger-owning process there.
+func lockFile(path string) (unlock func(), err error) {
+	return func() {}, nil
+}

@@ -1,0 +1,28 @@
+//go:build unix
+
+package accountant
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive advisory flock on path (creating it if
+// needed), blocking until the lock is granted, and returns the release
+// function. Advisory locks cooperate only with other flock users —
+// which every Ledger operation is — giving cross-process mutual
+// exclusion for the read-modify-write bracket.
+func lockFile(path string) (unlock func(), err error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		// Closing the descriptor releases the flock.
+		f.Close()
+	}, nil
+}

@@ -1,0 +1,240 @@
+package accountant
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"dpkron/internal/dp"
+	"dpkron/internal/graph"
+)
+
+func testReceipt(eps, delta float64) Receipt {
+	c := Charge{Query: "q", Mechanism: "laplace", Sensitivity: 1, Eps: eps, Delta: delta}
+	return Receipt{Policy: "sequential", Total: c.Budget(), Charges: []Charge{c}}
+}
+
+func TestLedgerLifecycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.json")
+	led, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Default-deny: spending on an unconfigured dataset is refused.
+	err = led.Spend("ds-a", testReceipt(0.1, 0))
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("unconfigured spend error = %v, want refusal", err)
+	}
+
+	if err := led.SetBudget("ds-a", dp.Budget{Eps: 0.5, Delta: 0.02}); err != nil {
+		t.Fatal(err)
+	}
+	if err := led.Spend("ds-a", testReceipt(0.3, 0.01)); err != nil {
+		t.Fatal(err)
+	}
+	if rem := led.Remaining("ds-a"); math.Abs(rem.Eps-0.2) > 1e-12 || math.Abs(rem.Delta-0.01) > 1e-12 {
+		t.Fatalf("Remaining = %v", rem)
+	}
+
+	// Overdraw in either coordinate refuses; the error carries state.
+	err = led.Spend("ds-a", testReceipt(0.3, 0))
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("overdraw error = %v", err)
+	}
+	if ex.Dataset != "ds-a" || math.Abs(ex.Remaining().Eps-0.2) > 1e-12 {
+		t.Fatalf("refusal state = %+v", ex)
+	}
+	if err := led.Spend("ds-a", testReceipt(0.1, 0.02)); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("delta overdraw error = %v, want refusal", err)
+	}
+
+	// Persistence: a fresh Open sees budget, spend, and receipts.
+	led2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acct, ok := led2.Account("ds-a")
+	if !ok {
+		t.Fatal("dataset lost across reopen")
+	}
+	if acct.Budget.Eps != 0.5 || math.Abs(acct.Spent.Eps-0.3) > 1e-12 || len(acct.Receipts) != 1 {
+		t.Fatalf("reopened account = %+v", acct)
+	}
+	if acct.Receipts[0].Charges[0].Query != "q" {
+		t.Fatalf("receipt content lost: %+v", acct.Receipts[0])
+	}
+
+	// Reset zeroes spend but keeps the budget.
+	if err := led2.Reset("ds-a"); err != nil {
+		t.Fatal(err)
+	}
+	if rem := led2.Remaining("ds-a"); rem.Eps != 0.5 {
+		t.Fatalf("post-reset remaining = %v", rem)
+	}
+	if err := led2.Reset("ds-missing"); err == nil {
+		t.Fatal("reset of unknown dataset succeeded")
+	}
+
+	// Datasets are sorted.
+	if err := led2.SetBudget("ds-0", dp.Budget{Eps: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ids := led2.Datasets()
+	if len(ids) != 2 || ids[0] != "ds-0" || ids[1] != "ds-a" {
+		t.Fatalf("Datasets = %v", ids)
+	}
+}
+
+// TestLedgerCrossHandleVisibility: two handles on one ledger file (the
+// `dpkron serve` / `dpkron budget set` split, here in-process) observe
+// each other's writes, because every operation re-reads the file under
+// the cross-process lock — a budget set after the server opened its
+// handle must be honored, and spends through either handle accrue.
+func TestLedgerCrossHandleVisibility(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.json")
+	server, err := Open(path) // long-lived handle, opened first
+	if err != nil {
+		t.Fatal(err)
+	}
+	admin, err := Open(path) // a later `dpkron budget set` invocation
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.SetBudget("ds-a", dp.Budget{Eps: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// The server handle sees the budget without reopening.
+	if err := server.Spend("ds-a", testReceipt(0.5, 0)); err != nil {
+		t.Fatalf("server handle missed admin's budget: %v", err)
+	}
+	// And the admin handle sees the server's spend.
+	if rem := admin.Remaining("ds-a"); rem.Eps != 0.5 {
+		t.Fatalf("admin handle remaining = %v, want 0.5", rem)
+	}
+	// Joint overdraw across handles is refused.
+	if err := admin.Spend("ds-a", testReceipt(0.5, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Spend("ds-a", testReceipt(0.5, 0)); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("cross-handle overdraw error = %v, want refusal", err)
+	}
+}
+
+// TestLedgerCrashMidWrite: the atomic-rename protocol means a crashed
+// writer leaves either the old file or the new one, plus possibly a
+// garbage .tmp — which Open must ignore and the next write replace.
+func TestLedgerCrashMidWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.json")
+	led, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := led.SetBudget("ds-a", dp.Budget{Eps: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-write: a torn, half-written tmp file.
+	if err := os.WriteFile(path+".tmp", []byte(`{"version":1,"datasets":{"ds-a"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	led2, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open with stale tmp failed: %v", err)
+	}
+	if acct, ok := led2.Account("ds-a"); !ok || acct.Budget.Eps != 1 {
+		t.Fatalf("state lost to stale tmp: %+v", acct)
+	}
+	// The next successful write replaces the garbage tmp.
+	if err := led2.Spend("ds-a", testReceipt(0.25, 0)); err != nil {
+		t.Fatal(err)
+	}
+	led3, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rem := led3.Remaining("ds-a"); rem.Eps != 0.75 {
+		t.Fatalf("remaining after recovery = %v", rem)
+	}
+
+	// A corrupt main file is a hard error, not silent data loss.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(bad); err == nil {
+		t.Fatal("corrupt ledger opened without error")
+	}
+}
+
+// TestLedgerConcurrentSpendNeverOversubscribes: N goroutines race to
+// spend unit receipts from a budget of K < N; exactly K must succeed.
+// Run under -race in CI.
+func TestLedgerConcurrentSpendNeverOversubscribes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.json")
+	led, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget, spenders = 5, 20
+	if err := led.SetBudget("ds-a", dp.Budget{Eps: budget}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	results := make([]error, spenders)
+	for i := 0; i < spenders; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = led.Spend("ds-a", testReceipt(1, 0))
+		}(i)
+	}
+	wg.Wait()
+	ok := 0
+	for _, err := range results {
+		switch {
+		case err == nil:
+			ok++
+		case !errors.Is(err, ErrBudgetExhausted):
+			t.Fatalf("unexpected spend error: %v", err)
+		}
+	}
+	if ok != budget {
+		t.Fatalf("%d spends succeeded, want exactly %d", ok, budget)
+	}
+	if rem := led.Remaining("ds-a"); math.Abs(rem.Eps) > 1e-9 {
+		t.Fatalf("remaining = %v, want 0", rem)
+	}
+	// Disk agrees with memory.
+	led2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acct, _ := led2.Account("ds-a"); len(acct.Receipts) != budget {
+		t.Fatalf("persisted %d receipts, want %d", len(acct.Receipts), budget)
+	}
+}
+
+func TestDatasetIDStableAndContentAddressed(t *testing.T) {
+	g1 := graph.FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	g2 := graph.FromEdges(4, [][2]int{{2, 3}, {0, 1}, {1, 2}, {1, 0}}) // same graph, shuffled input
+	g3 := graph.FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	id1, id2, id3 := DatasetID(g1), DatasetID(g2), DatasetID(g3)
+	if id1 != id2 {
+		t.Fatalf("same graph, different ids: %s vs %s", id1, id2)
+	}
+	if id1 == id3 {
+		t.Fatalf("different graphs share id %s", id1)
+	}
+	if len(id1) != len("ds-")+16 {
+		t.Fatalf("id %q has unexpected shape", id1)
+	}
+	// Node count matters even with identical edges.
+	g4 := graph.FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	if DatasetID(g4) == id1 {
+		t.Fatal("node count not part of the fingerprint")
+	}
+}

@@ -22,6 +22,7 @@ package core
 import (
 	"fmt"
 
+	"dpkron/internal/accountant"
 	"dpkron/internal/degseq"
 	"dpkron/internal/dp"
 	"dpkron/internal/graph"
@@ -61,6 +62,20 @@ type Options struct {
 	KeepNonpositiveDelta bool
 	// Rng is required; all noise and optimizer randomness flows from it.
 	Rng *randx.Rand
+	// Accountant, when set, is charged for every mechanism of this run
+	// before its noise is drawn; a refused charge (the accountant's
+	// budget limit would be exceeded) aborts the estimate with that
+	// error and no further noise is consumed. The accountant may be
+	// shared across *sequential* releases — the Result's receipt then
+	// covers only this run's charges. Concurrent runs must each use
+	// their own accountant (their charges would interleave into one
+	// receipt otherwise); enforce one cumulative budget across
+	// concurrent fits with a shared accountant.Ledger instead, as the
+	// server does. Nil runs under a fresh unlimited sequential
+	// accountant; either way the receipt lands on the Result, and
+	// charging never perturbs the rng stream (fixed-seed outputs are
+	// bit-identical with or without an accountant).
+	Accountant *accountant.Accountant
 	// Workers bounds the goroutines used by the pipeline's parallel
 	// stages (feature counting, the smooth-sensitivity scan, and the
 	// moment optimizer); <= 0 selects runtime.GOMAXPROCS(0). The
@@ -96,7 +111,32 @@ type Result struct {
 	// Privacy is the composed (ε, δ) guarantee of everything released.
 	Privacy dp.Budget
 	// Charges itemizes the budget per mechanism.
-	Charges []dp.Charge
+	Charges []accountant.Charge
+	// Receipt is the machine-readable spend record of this run: the
+	// charges above plus their composed total under the accountant's
+	// policy. Safe to release (data-dependent calibration quantities
+	// never appear in receipts).
+	Receipt accountant.Receipt
+}
+
+// PlannedReceipt returns the exact receipt a successful Estimate run
+// with total budget (eps, delta) will produce, without running
+// anything: Algorithm 1's charge schedule is data-independent — ε/2 to
+// the degree sequence, (ε/2, δ) to the triangle count — so a ledger
+// can be debited at admission time, before any sensitive data is
+// touched. That admission-time debit is what keeps concurrent fits
+// from jointly overdrawing a shared ledger.
+func PlannedReceipt(eps, delta float64) accountant.Receipt {
+	half := eps / 2
+	charges := []accountant.Charge{
+		accountant.LaplaceVec{Sens: degseq.GlobalSensitivity, Eps: half}.Charge(degseq.Query),
+		accountant.SmoothLaplace{Beta: smoothsens.BetaFor(half, delta), Eps: half, Delta: delta}.Charge(smoothsens.Query),
+	}
+	return accountant.Receipt{
+		Policy:  accountant.Sequential{}.Name(),
+		Total:   accountant.Sequential{}.Compose(charges),
+		Charges: charges,
+	}
 }
 
 // Model returns the released SKG model, ready for synthetic sampling.
@@ -135,7 +175,13 @@ func EstimateCtx(run *pipeline.Run, g *graph.Graph, opts Options) (*Result, erro
 	}
 	alg := run.Sub("algorithm1")
 
-	var acc dp.Accountant
+	acc := opts.Accountant
+	if acc == nil {
+		acc = accountant.New(nil)
+	}
+	// The accountant may be shared across releases; the receipt of this
+	// run covers only the charges recorded from here on.
+	chargeBase := acc.Len()
 	half := opts.Eps / 2
 
 	// Steps 1–3: private degree sequence and degree-derived features.
@@ -143,8 +189,10 @@ func EstimateCtx(run *pipeline.Run, g *graph.Graph, opts Options) (*Result, erro
 		return nil, err
 	}
 	stageDone := alg.Stage("degree-release")
-	dtilde := degseq.Private(g, half, opts.Rng)
-	acc.Spend("sorted degree sequence (Hay et al.)", dp.Budget{Eps: half})
+	dtilde, err := degseq.PrivateAcc(acc, g, half, opts.Rng)
+	if err != nil {
+		return nil, err
+	}
 	stageDone()
 	stageDone = alg.Stage("feature-derivation")
 	feats := stats.FeaturesFromDegrees(dtilde)
@@ -156,11 +204,10 @@ func EstimateCtx(run *pipeline.Run, g *graph.Graph, opts Options) (*Result, erro
 	if err := alg.Err(); err != nil {
 		return nil, err
 	}
-	tri, err := smoothsens.PrivateTrianglesCtx(alg, g, half, opts.Delta, opts.Rng)
+	tri, err := smoothsens.PrivateTrianglesAccCtx(alg, acc, g, half, opts.Delta, opts.Rng)
 	if err != nil {
 		return nil, err
 	}
-	acc.Spend("triangle count (smooth sensitivity)", dp.Budget{Eps: half, Delta: opts.Delta})
 	feats.Delta = tri.Noisy
 
 	// Step 6: moment matching on the private features (post-processing).
@@ -185,6 +232,7 @@ func EstimateCtx(run *pipeline.Run, g *graph.Graph, opts Options) (*Result, erro
 	}
 	stageDone()
 
+	receipt := acc.ReceiptSince(chargeBase)
 	return &Result{
 		Init:         est.Init,
 		K:            k,
@@ -192,8 +240,9 @@ func EstimateCtx(run *pipeline.Run, g *graph.Graph, opts Options) (*Result, erro
 		DegreeSeq:    dtilde,
 		Triangles:    tri,
 		Moment:       est,
-		Privacy:      acc.Total(),
-		Charges:      acc.Charges(),
+		Privacy:      receipt.Total,
+		Charges:      receipt.Charges,
+		Receipt:      receipt,
 		DeltaDropped: deltaDropped,
 	}, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"dpkron/internal/graph"
@@ -29,11 +30,20 @@ func TestEstimateBudgetAccounting(t *testing.T) {
 	if len(res.Charges) != 2 {
 		t.Fatalf("charges = %d, want 2", len(res.Charges))
 	}
-	if res.Charges[0].Budget.Eps != 0.1 || res.Charges[1].Budget.Eps != 0.1 {
+	if res.Charges[0].Eps != 0.1 || res.Charges[1].Eps != 0.1 {
 		t.Fatalf("per-mechanism epsilon split wrong: %+v", res.Charges)
 	}
-	if res.Charges[0].Budget.Delta != 0 || res.Charges[1].Budget.Delta != 0.01 {
+	if res.Charges[0].Delta != 0 || res.Charges[1].Delta != 0.01 {
 		t.Fatalf("delta charged to wrong mechanism: %+v", res.Charges)
+	}
+	// The receipt mirrors the charges and the planned schedule matches
+	// the realized one exactly: Algorithm 1's spend is data-independent.
+	if res.Receipt.Total != res.Privacy {
+		t.Fatalf("receipt total %v != privacy %v", res.Receipt.Total, res.Privacy)
+	}
+	planned := PlannedReceipt(0.2, 0.01)
+	if !reflect.DeepEqual(planned, res.Receipt) {
+		t.Fatalf("planned receipt %+v != realized %+v", planned, res.Receipt)
 	}
 }
 

@@ -16,14 +16,14 @@ import (
 // Budget is an (ε, δ) differential privacy guarantee. δ = 0 is pure
 // ε-differential privacy.
 type Budget struct {
-	Eps   float64
-	Delta float64
+	Eps   float64 `json:"eps"`
+	Delta float64 `json:"delta"`
 }
 
-// Validate checks ε > 0 and δ ∈ [0, 1).
+// Validate checks ε > 0 (finite) and δ ∈ [0, 1).
 func (b Budget) Validate() error {
-	if math.IsNaN(b.Eps) || b.Eps <= 0 {
-		return fmt.Errorf("dp: epsilon must be positive, got %v", b.Eps)
+	if math.IsNaN(b.Eps) || math.IsInf(b.Eps, 0) || b.Eps <= 0 {
+		return fmt.Errorf("dp: epsilon must be positive and finite, got %v", b.Eps)
 	}
 	if math.IsNaN(b.Delta) || b.Delta < 0 || b.Delta >= 1 {
 		return fmt.Errorf("dp: delta must be in [0, 1), got %v", b.Delta)
@@ -74,35 +74,4 @@ func checkParams(sensitivity, eps float64) {
 	if eps <= 0 || math.IsNaN(eps) {
 		panic(fmt.Sprintf("dp: non-positive epsilon %v", eps))
 	}
-}
-
-// Accountant tracks privacy budget spent by a sequence of mechanism
-// invocations and reports the composed total.
-type Accountant struct {
-	items []Charge
-}
-
-// Charge is one recorded mechanism invocation.
-type Charge struct {
-	Label  string
-	Budget Budget
-}
-
-// Spend records a mechanism invocation.
-func (a *Accountant) Spend(label string, b Budget) {
-	a.items = append(a.items, Charge{Label: label, Budget: b})
-}
-
-// Total returns the sequentially composed budget.
-func (a *Accountant) Total() Budget {
-	parts := make([]Budget, len(a.items))
-	for i, it := range a.items {
-		parts[i] = it.Budget
-	}
-	return Compose(parts...)
-}
-
-// Charges returns a copy of the recorded invocations in order.
-func (a *Accountant) Charges() []Charge {
-	return append([]Charge(nil), a.items...)
 }

@@ -94,6 +94,20 @@ func (r *Rand) Laplace(scale float64) float64 {
 	return scale * math.Log(1+2*u)
 }
 
+// Cauchy returns a sample from the Cauchy distribution with median
+// zero and the given scale (density 1/(πb·(1+(x/b)²))), via the
+// inverse CDF x = b·tan(π(u − ½)). A scale of zero returns 0 so
+// callers can express "no noise" uniformly.
+func (r *Rand) Cauchy(scale float64) float64 {
+	if scale == 0 {
+		return 0
+	}
+	if scale < 0 {
+		panic("randx: Cauchy scale must be non-negative")
+	}
+	return scale * math.Tan(math.Pi*(r.src.Float64()-0.5))
+}
+
 // LaplaceVec returns n independent Laplace(scale) samples.
 func (r *Rand) LaplaceVec(n int, scale float64) []float64 {
 	out := make([]float64, n)

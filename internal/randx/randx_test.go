@@ -83,6 +83,51 @@ func TestLaplaceTailSymmetry(t *testing.T) {
 	}
 }
 
+// TestCauchyQuartiles: the Cauchy distribution has no moments, so the
+// distribution is checked through its quartiles — the CDF puts 1/4 of
+// the mass below −scale and 1/4 above +scale — plus median symmetry.
+func TestCauchyQuartiles(t *testing.T) {
+	r := New(321)
+	const n = 200000
+	scale := 2.5
+	below, above, pos := 0, 0, 0
+	for i := 0; i < n; i++ {
+		x := r.Cauchy(scale)
+		if x < -scale {
+			below++
+		}
+		if x > scale {
+			above++
+		}
+		if x > 0 {
+			pos++
+		}
+	}
+	for name, count := range map[string]int{"below -scale": below, "above +scale": above} {
+		if frac := float64(count) / n; math.Abs(frac-0.25) > 0.01 {
+			t.Errorf("Cauchy mass %s = %v, want ~0.25", name, frac)
+		}
+	}
+	if frac := float64(pos) / n; math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("Cauchy positive mass = %v, want ~0.5", frac)
+	}
+}
+
+func TestCauchyZeroScaleAndPanic(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10; i++ {
+		if x := r.Cauchy(0); x != 0 {
+			t.Fatalf("Cauchy(0) = %v, want 0", x)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative scale did not panic")
+		}
+	}()
+	r.Cauchy(-1)
+}
+
 func TestExponentialMean(t *testing.T) {
 	r := New(321)
 	const n = 200000

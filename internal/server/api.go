@@ -2,11 +2,14 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
 
+	"dpkron/internal/accountant"
 	"dpkron/internal/core"
+	"dpkron/internal/dp"
 	"dpkron/internal/graph"
 	"dpkron/internal/kronfit"
 	"dpkron/internal/kronmom"
@@ -32,6 +35,11 @@ type FitRequest struct {
 	// Seed drives all estimator randomness (default 1); resubmitting an
 	// identical request yields an identical result.
 	Seed uint64 `json:"seed"`
+	// Dataset names the ledger account a private fit is charged to when
+	// the server enforces budgets; empty selects the content fingerprint
+	// of the submitted graph (accountant.DatasetID), so repeated fits of
+	// the same graph share one account. Ignored without a ledger.
+	Dataset string `json:"dataset,omitempty"`
 	// Nodes is the minimum node count (0 = max endpoint + 1).
 	Nodes int `json:"nodes"`
 	// Edges lists node pairs; loops are dropped, duplicates merged.
@@ -131,10 +139,16 @@ type FitResult struct {
 	// LogLikelihood is the approximate ll at the optimum (mle).
 	LogLikelihood *float64 `json:"loglikelihood,omitempty"`
 	// Privacy echoes the composed guarantee (private only).
-	Privacy *struct {
-		Eps   float64 `json:"eps"`
-		Delta float64 `json:"delta"`
-	} `json:"privacy,omitempty"`
+	Privacy *dp.Budget `json:"privacy,omitempty"`
+	// Spent is the receipt total — the (ε, δ) the run's mechanisms
+	// actually charged (private only).
+	Spent *dp.Budget `json:"spent,omitempty"`
+	// Receipt itemizes the run's mechanism charges (private only).
+	Receipt *accountant.Receipt `json:"receipt,omitempty"`
+	// Dataset and Remaining report the ledger account charged and what
+	// it has left (ledger-enforced private fits only).
+	Dataset   string     `json:"dataset,omitempty"`
+	Remaining *dp.Budget `json:"remaining,omitempty"`
 	// Features are the (private, for method private; exact otherwise)
 	// feature counts used by the fit.
 	Features *struct {
@@ -184,12 +198,40 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown method %q (want private, mom or mle)", req.Method))
 		return
 	}
+	if method == "private" {
+		// Reject bad budgets at the door (400) instead of deep inside the
+		// job (failed status); the zero-value defaults above are valid.
+		if err := (dp.Budget{Eps: req.Eps, Delta: req.Delta}).Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
 	g, err := req.graph()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	j, status, msg := s.submit("fit/"+method, func(run *pipeline.Run) (any, error) {
+	// Ledger enforcement: debit the full requested budget at admission
+	// (Algorithm 1's charge schedule is data-independent, so the spend
+	// is known before the job runs). The debit happens inside submit's
+	// admission critical section; an exhausted account surfaces as 429
+	// with the remaining budget in the body.
+	var admit func() error
+	var dataset string
+	var refused *accountant.ExhaustedError
+	if s.opts.Ledger != nil && method == "private" {
+		dataset = req.Dataset
+		if dataset == "" {
+			dataset = accountant.DatasetID(g)
+		}
+		planned := core.PlannedReceipt(req.Eps, req.Delta)
+		admit = func() error {
+			err := s.opts.Ledger.Spend(dataset, planned)
+			errors.As(err, &refused)
+			return err
+		}
+	}
+	j, status, msg := s.submit("fit/"+method, admit, func(run *pipeline.Run) (any, error) {
 		rng := randx.New(req.Seed)
 		switch method {
 		case "mom":
@@ -215,8 +257,12 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 				LogLikelihood: &res.LogLikelihood,
 			}, nil
 		default: // private
+			// The per-run accountant caps the run at exactly the budget
+			// the ledger was debited for — a belt-and-braces guarantee
+			// that no mechanism can spend beyond the admission debit.
+			acc := accountant.New(nil).WithLimit(dp.Budget{Eps: req.Eps, Delta: req.Delta})
 			res, err := core.EstimateCtx(run, g, core.Options{
-				Eps: req.Eps, Delta: req.Delta, K: req.K, Rng: rng,
+				Eps: req.Eps, Delta: req.Delta, K: req.K, Rng: rng, Accountant: acc,
 			})
 			if err != nil {
 				return nil, err
@@ -227,15 +273,29 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 				K:         res.K,
 				Objective: &res.Moment.Objective,
 				Features:  featuresJSON(res.Features),
+				Privacy:   &res.Privacy,
+				Spent:     &res.Receipt.Total,
+				Receipt:   &res.Receipt,
+				Dataset:   dataset,
 			}
-			out.Privacy = &struct {
-				Eps   float64 `json:"eps"`
-				Delta float64 `json:"delta"`
-			}{res.Privacy.Eps, res.Privacy.Delta}
+			if s.opts.Ledger != nil && dataset != "" {
+				rem := s.opts.Ledger.Remaining(dataset)
+				out.Remaining = &rem
+			}
 			return out, nil
 		}
 	})
 	if j == nil {
+		if refused != nil {
+			// Budget refusals answer with the machine-readable remaining
+			// budget so clients can right-size their next request.
+			writeJSON(w, http.StatusTooManyRequests, map[string]any{
+				"error":     msg,
+				"dataset":   dataset,
+				"remaining": refused.Remaining(),
+			})
+			return
+		}
 		writeError(w, status, msg)
 		return
 	}
@@ -320,7 +380,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	j, status, msg := s.submit("generate", func(run *pipeline.Run) (any, error) {
+	j, status, msg := s.submit("generate", nil, func(run *pipeline.Run) (any, error) {
 		rng := randx.New(req.Seed)
 		var g *graph.Graph
 		var err error

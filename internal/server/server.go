@@ -7,12 +7,20 @@
 //
 // Endpoints:
 //
-//	POST   /v1/fit        submit an estimation job (private | mom | mle)
-//	POST   /v1/generate   submit a synthetic-graph sampling job
-//	GET    /v1/jobs       list all jobs (newest last)
-//	GET    /v1/jobs/{id}  one job with stage progress and result
-//	DELETE /v1/jobs/{id}  cancel a queued or running job
-//	GET    /healthz       liveness probe
+//	POST   /v1/fit              submit an estimation job (private | mom | mle)
+//	POST   /v1/generate         submit a synthetic-graph sampling job
+//	GET    /v1/jobs             list all jobs (newest last)
+//	GET    /v1/jobs/{id}        one job with stage progress and result
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/budget/{dataset} a dataset's ledger account (ledger mode)
+//	GET    /healthz             liveness probe
+//
+// When Options.Ledger is set, private fits are additionally charged
+// against a persistent per-dataset privacy-budget ledger: the request's
+// dataset id (or the graph's content fingerprint) is debited the full
+// requested (ε, δ) at admission, exhausted budgets are rejected with
+// 429 plus the remaining budget, and finished fit results carry the
+// itemized spend receipt.
 //
 // Concurrency model: the process-wide worker budget is split evenly
 // across the MaxJobs job slots, so a fully loaded server never runs
@@ -30,6 +38,7 @@ import (
 	"net/http"
 	"sync"
 
+	"dpkron/internal/accountant"
 	"dpkron/internal/parallel"
 	"dpkron/internal/pipeline"
 )
@@ -52,6 +61,15 @@ type Options struct {
 	// EventLog, when set, receives every job's pipeline events as they
 	// arrive (serialized per job). Used by `dpkron serve -progress`.
 	EventLog func(jobID string, e pipeline.Event)
+	// Ledger, when set, turns on per-dataset privacy-budget
+	// enforcement: every private fit is debited against its dataset's
+	// account at admission time (the full requested (ε, δ), known
+	// upfront because Algorithm 1's charge schedule is
+	// data-independent), and a request whose dataset lacks the
+	// remaining budget is rejected with 429 and a remaining-budget
+	// body. The debit is conservative — cancelled or failed jobs do
+	// not refund, since their mechanisms may already have drawn noise.
+	Ledger *accountant.Ledger
 }
 
 func (o *Options) fill() {
@@ -109,6 +127,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/budget/{dataset}", s.handleBudget)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -214,16 +233,35 @@ func (j *job) view() view {
 // submit registers a job and launches its goroutine. fn runs once a
 // job slot frees up, under a pipeline Run wired to the job's context
 // and progress sink. Returns nil (plus an HTTP status and message)
-// when the queue is full.
-func (s *Server) submit(kind string, fn func(run *pipeline.Run) (any, error)) (*job, int, string) {
+// when the queue is full, or when the optional admit hook refuses.
+// The queue slot is reserved first, then admit runs outside s.mu —
+// a ledger debit does disk I/O (fsync) and must not stall every other
+// endpoint — so a committed debit never needs rolling back for a
+// queue-full rejection, only the slot reservation is undone on
+// refusal.
+func (s *Server) submit(kind string, admit func() error, fn func(run *pipeline.Run) (any, error)) (*job, int, string) {
 	s.mu.Lock()
 	if s.active >= s.opts.MaxQueue {
 		active := s.active
 		s.mu.Unlock()
 		return nil, http.StatusTooManyRequests, fmt.Sprintf("job queue full (%d active)", active)
 	}
+	s.active++ // reserve the queue slot before the lock is dropped
+	s.mu.Unlock()
+	if admit != nil {
+		if err := admit(); err != nil {
+			s.mu.Lock()
+			s.active--
+			s.mu.Unlock()
+			status := http.StatusInternalServerError
+			if errors.Is(err, accountant.ErrBudgetExhausted) {
+				status = http.StatusTooManyRequests
+			}
+			return nil, status, err.Error()
+		}
+	}
+	s.mu.Lock()
 	s.next++
-	s.active++
 	ctx, cancel := context.WithCancel(s.ctx)
 	j := &job{
 		id:     fmt.Sprintf("job-%d", s.next),
@@ -361,6 +399,29 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	v := view{ID: j.id, Kind: j.kind, Status: j.status}
 	j.mu.Unlock()
 	writeJSON(w, http.StatusAccepted, v)
+}
+
+// handleBudget reports a dataset's ledger account: configured budget,
+// composed spend, remaining allowance, and receipt count.
+func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Ledger == nil {
+		writeError(w, http.StatusNotFound, "no ledger configured (start the server with a ledger to enforce budgets)")
+		return
+	}
+	ds := r.PathValue("dataset")
+	acct, ok := s.opts.Ledger.Account(ds)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown dataset %q (set a budget with `dpkron budget set`)", ds))
+		return
+	}
+	rem := acct.Remaining()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset":   ds,
+		"budget":    acct.Budget,
+		"spent":     acct.Spent,
+		"remaining": rem,
+		"receipts":  len(acct.Receipts),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -4,12 +4,16 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
+	"dpkron/internal/accountant"
+	"dpkron/internal/dp"
 	"dpkron/internal/graph"
 	"dpkron/internal/randx"
 	"dpkron/internal/skg"
@@ -353,6 +357,135 @@ func TestServerHistoryEviction(t *testing.T) {
 	}
 	if code, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+ids[4], nil); code != http.StatusOK {
 		t.Errorf("newest job not resolvable: status %d", code)
+	}
+}
+
+// TestServerLedgerEnforcement: with a ledger configured, a sequence of
+// private fits against one dataset is admitted while the remaining ε
+// covers the request and rejected with 429 (plus a remaining-budget
+// body) exactly when it no longer does.
+func TestServerLedgerEnforcement(t *testing.T) {
+	led, err := accountant.Open(filepath.Join(t.TempDir(), "ledger.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Options{Workers: 2, MaxJobs: 2, Ledger: led})
+
+	edges := testEdgeList(t, 8)
+	g, err := graph.ReadEdgeList(strings.NewReader(edges), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := accountant.DatasetID(g)
+
+	fit := func() (int, map[string]any) {
+		return doJSON(t, http.MethodPost, ts.URL+"/v1/fit", FitRequest{
+			Method: "private", Eps: 0.4, Delta: 0.01, K: 8, Seed: 3, EdgeList: edges,
+		})
+	}
+
+	// Default-deny: no budget configured yet → immediate 429.
+	code, resp := fit()
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("fit without budget: status %d, want 429 (%v)", code, resp)
+	}
+	if resp["dataset"] != ds {
+		t.Errorf("429 body names dataset %v, want %v", resp["dataset"], ds)
+	}
+
+	// Budget for exactly two fits of (0.4, 0.01) plus ε slack that
+	// cannot cover a third.
+	if err := led.SetBudget(ds, dp.Budget{Eps: 0.9, Delta: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		code, resp = fit()
+		if code != http.StatusAccepted {
+			t.Fatalf("fit %d: status %d, want 202 (%v)", i, code, resp)
+		}
+		job := pollJob(t, ts.URL, resp["id"].(string), 60*time.Second)
+		if job["status"] != StatusDone {
+			t.Fatalf("fit %d ended %v: %v", i, job["status"], job)
+		}
+		result := job["result"].(map[string]any)
+		// The finished job carries the spend receipt and the totals.
+		spent, _ := result["spent"].(map[string]any)
+		if spent == nil || spent["eps"].(float64) != 0.4 {
+			t.Errorf("fit %d: spent = %v, want eps 0.4", i, result["spent"])
+		}
+		receipt, _ := result["receipt"].(map[string]any)
+		if receipt == nil {
+			t.Fatalf("fit %d: no receipt in result: %v", i, result)
+		}
+		if charges, _ := receipt["charges"].([]any); len(charges) != 2 {
+			t.Errorf("fit %d: receipt has %d charges, want 2", i, len(receipt["charges"].([]any)))
+		}
+		if result["dataset"] != ds {
+			t.Errorf("fit %d: result dataset %v, want %v", i, result["dataset"], ds)
+		}
+	}
+
+	// Remaining ε is now 0.1 < 0.4: the third fit must be refused.
+	code, resp = fit()
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("third fit: status %d, want 429 (%v)", code, resp)
+	}
+	rem, _ := resp["remaining"].(map[string]any)
+	if rem == nil {
+		t.Fatalf("429 body lacks remaining budget: %v", resp)
+	}
+	if eps := rem["eps"].(float64); math.Abs(eps-0.1) > 1e-9 {
+		t.Errorf("remaining eps = %v, want 0.1", eps)
+	}
+
+	// The budget endpoint reports the same account state.
+	code, acct := doJSON(t, http.MethodGet, ts.URL+"/v1/budget/"+ds, nil)
+	if code != http.StatusOK {
+		t.Fatalf("GET budget: status %d (%v)", code, acct)
+	}
+	if spent := acct["spent"].(map[string]any); math.Abs(spent["eps"].(float64)-0.8) > 1e-9 {
+		t.Errorf("budget endpoint spent = %v, want eps 0.8", acct["spent"])
+	}
+	if acct["receipts"].(float64) != 2 {
+		t.Errorf("receipts = %v, want 2", acct["receipts"])
+	}
+	if code, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/budget/ds-unknown", nil); code != http.StatusNotFound {
+		t.Errorf("GET unknown budget: status %d, want 404", code)
+	}
+
+	// Non-private fits are never charged, even over an exhausted account.
+	code, resp = doJSON(t, http.MethodPost, ts.URL+"/v1/fit", FitRequest{
+		Method: "mom", K: 8, EdgeList: edges,
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("mom fit with exhausted ledger: status %d, want 202 (%v)", code, resp)
+	}
+	if job := pollJob(t, ts.URL, resp["id"].(string), 60*time.Second); job["status"] != StatusDone {
+		t.Fatalf("mom fit ended %v", job["status"])
+	}
+
+	// The spend survives the process: a reopened ledger agrees.
+	led2, err := accountant.Open(led.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rem := led2.Remaining(ds); math.Abs(rem.Eps-0.1) > 1e-9 {
+		t.Errorf("reopened ledger remaining = %v, want eps 0.1", rem)
+	}
+}
+
+// TestServerLedgerBadBudget: invalid budgets on private fits are 400s
+// at the door, not failed jobs.
+func TestServerLedgerBadBudget(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, MaxJobs: 1})
+	for name, req := range map[string]FitRequest{
+		"negative eps":   {Method: "private", Eps: -1, EdgeList: "0 1\n"},
+		"delta over 1":   {Method: "private", Eps: 0.5, Delta: 1.5, EdgeList: "0 1\n"},
+		"negative delta": {Method: "private", Eps: 0.5, Delta: -0.1, EdgeList: "0 1\n"},
+	} {
+		if code, resp := doJSON(t, http.MethodPost, ts.URL+"/v1/fit", req); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%v)", name, code, resp)
+		}
 	}
 }
 

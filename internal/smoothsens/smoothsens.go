@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 
+	"dpkron/internal/accountant"
 	"dpkron/internal/graph"
 	"dpkron/internal/parallel"
 	"dpkron/internal/pipeline"
@@ -208,6 +209,13 @@ func PrivateTrianglesWorkers(g *graph.Graph, eps, delta float64, rng *randx.Rand
 	return res
 }
 
+// Query is the name under which the (ε, δ) Laplace release is charged
+// to accountants; QueryPure names the pure-ε Cauchy release.
+const (
+	Query     = "triangles/smooth-laplace"
+	QueryPure = "triangles/smooth-cauchy"
+)
+
 // PrivateTrianglesCtx is PrivateTriangles under a pipeline Run: the
 // sensitivity scan and the exact count check the context between
 // shards, and a "triangle-release" stage event pair is emitted. A run
@@ -215,23 +223,77 @@ func PrivateTrianglesWorkers(g *graph.Graph, eps, delta float64, rng *randx.Rand
 // releases the exact PrivateTrianglesWorkers value; a cancelled run
 // returns run.Err() before any noise is drawn.
 func PrivateTrianglesCtx(run *pipeline.Run, g *graph.Graph, eps, delta float64, rng *randx.Rand) (Result, error) {
+	return PrivateTrianglesAccCtx(run, nil, g, eps, delta, rng) // nil accountant never refuses
+}
+
+// PrivateTrianglesAccCtx is PrivateTrianglesCtx drawing through the
+// accountant's smooth-sensitivity Laplace mechanism: the (ε, δ) charge
+// is recorded on acc (nil records nothing) after the sensitivity scan
+// but before any noise is drawn, and a refused charge returns the
+// error with no noise consumed from rng. For fixed seeds the released
+// count is bit-identical to PrivateTrianglesCtx.
+func PrivateTrianglesAccCtx(run *pipeline.Run, acc *accountant.Accountant, g *graph.Graph, eps, delta float64, rng *randx.Rand) (Result, error) {
 	done := run.Stage("triangle-release")
 	beta := BetaFor(eps, delta)
 	ss, err := SmoothCtx(run, g, beta)
 	if err != nil {
 		return Result{}, err
 	}
-	scale := 2 * ss / eps
 	exact, err := stats.TrianglesCtx(run, g)
 	if err != nil {
 		return Result{}, err
 	}
+	mech := accountant.SmoothLaplace{SmoothSens: ss, Beta: beta, Eps: eps, Delta: delta}
+	if err := acc.Charge(Query, mech); err != nil {
+		return Result{}, err
+	}
 	done()
 	return Result{
-		Noisy:     float64(exact) + rng.Laplace(scale),
+		Noisy:     mech.Apply(float64(exact), rng),
 		Exact:     exact,
 		SmoothSen: ss,
 		Beta:      beta,
-		Scale:     scale,
+		Scale:     mech.Scale(),
+	}, nil
+}
+
+// BetaForPure returns the admissible β for the pure-ε Cauchy
+// mechanism, ε/6: the standard Cauchy density ∝ 1/(1+z²) is
+// (ε/6, ε/6)-admissible (Nissim et al.), so noise 6·SS_β/ε · Cauchy(1)
+// at β = ε/6 gives (ε, 0)-DP. ε must be positive.
+func BetaForPure(eps float64) float64 {
+	if eps <= 0 || math.IsNaN(eps) {
+		panic(fmt.Sprintf("smoothsens: invalid eps=%v", eps))
+	}
+	return eps / 6
+}
+
+// PrivateTrianglesPureCtx releases an (ε, 0)-differentially private
+// triangle count via the smooth-sensitivity Cauchy mechanism — the
+// pure-ε alternative to the paper's (ε, δ) Laplace release, with
+// heavier-tailed noise as the price of dropping δ. The charge is
+// recorded on acc (nil records nothing) before the single Cauchy draw.
+func PrivateTrianglesPureCtx(run *pipeline.Run, acc *accountant.Accountant, g *graph.Graph, eps float64, rng *randx.Rand) (Result, error) {
+	done := run.Stage("triangle-release")
+	beta := BetaForPure(eps)
+	ss, err := SmoothCtx(run, g, beta)
+	if err != nil {
+		return Result{}, err
+	}
+	exact, err := stats.TrianglesCtx(run, g)
+	if err != nil {
+		return Result{}, err
+	}
+	mech := accountant.SmoothCauchy{SmoothSens: ss, Beta: beta, Eps: eps}
+	if err := acc.Charge(QueryPure, mech); err != nil {
+		return Result{}, err
+	}
+	done()
+	return Result{
+		Noisy:     mech.Apply(float64(exact), rng),
+		Exact:     exact,
+		SmoothSen: ss,
+		Beta:      beta,
+		Scale:     mech.Scale(),
 	}, nil
 }
