@@ -20,6 +20,7 @@
 package dpkron_test
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"testing"
@@ -28,6 +29,7 @@ import (
 	"dpkron/internal/accountant"
 	"dpkron/internal/anf"
 	"dpkron/internal/core"
+	"dpkron/internal/dataset"
 	"dpkron/internal/degseq"
 	"dpkron/internal/dp"
 	"dpkron/internal/experiments"
@@ -605,5 +607,49 @@ func BenchmarkModelSelection(b *testing.B) {
 			b.Fatal(err)
 		}
 		printResult("Model selection (N1=2 vs N1=3 source)", experiments.RenderModelSelection(rows))
+	}
+}
+
+// --- Dataset-load benchmarks (scripts/bench.sh → BENCH_5.json) ---
+//
+// Each pair loads the same k=16..18 graph from SNAP edge-list text
+// ("text": the streaming parser every pre-store fit paid on every run)
+// and from the dataset store's binary CSR codec ("binary": what
+// fit-by-dataset-id pays). Both decode from memory, so the ratio
+// isolates parse cost from disk. scripts/bench.sh computes the
+// binary_over_text ratios into BENCH_5.json's dataset_load section;
+// the store's acceptance bar is binary measurably below text.
+
+func BenchmarkDatasetLoad(b *testing.B) {
+	for _, cfg := range []struct{ k, edges int }{
+		{16, 1 << 19}, {17, 1 << 20}, {18, 1 << 21},
+	} {
+		g := featureGraph(b, cfg.k, cfg.edges)
+		var text bytes.Buffer
+		if err := g.WriteEdgeList(&text); err != nil {
+			b.Fatal(err)
+		}
+		bin := dataset.Marshal(g)
+
+		b.Run(fmt.Sprintf("K=%d-text", cfg.k), func(b *testing.B) {
+			b.SetBytes(int64(text.Len()))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				got, err := graph.ReadEdgeList(bytes.NewReader(text.Bytes()), 0)
+				if err != nil || got.NumEdges() != g.NumEdges() {
+					b.Fatal("bad parse", err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("K=%d-binary", cfg.k), func(b *testing.B) {
+			b.SetBytes(int64(len(bin)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				got, err := dataset.Unmarshal(bin)
+				if err != nil || got.NumEdges() != g.NumEdges() {
+					b.Fatal("bad decode", err)
+				}
+			}
+		})
 	}
 }

@@ -7,22 +7,24 @@
 //
 //	dpkron table1  [-eps E] [-delta D] [-seed S]
 //	dpkron figure  -dataset NAME [-expected N] [-csv FILE] [-plot]
-//	dpkron fit     -in FILE|- [-method private|mom|mle] [-eps E] [-delta D] [-k K]
+//	dpkron fit     -in FILE|-|ID [-store DIR] [-method private|mom|mle] [-eps E] [-delta D] [-k K]
 //	dpkron generate -a A -b B -c C -k K [-out FILE] [-method exact|balldrop]
-//	dpkron stats   -in FILE|-
+//	dpkron stats   -in FILE|-|ID [-store DIR]
 //	dpkron sweep   [-dataset NAME] [-trials N]
 //	dpkron ssgrowth [-kmin K] [-kmax K]
 //	dpkron sscompare [-kmin K] [-kmax K]
-//	dpkron serve   [-addr HOST:PORT] [-max-jobs N] [-ledger FILE]
+//	dpkron serve   [-addr HOST:PORT] [-max-jobs N] [-ledger FILE] [-store DIR]
 //	dpkron budget  <show|set|reset> -ledger FILE [-dataset ID] [-eps E] [-delta D]
+//	dpkron dataset <import|list|info|export|rm> -store DIR [-in FILE|-] [-id ID] [-name S] [-out FILE]
 //	dpkron datasets
 //
 // Every long-running command accepts the shared pipeline flags:
 // -workers bounds parallelism (results are identical for any value),
 // -timeout aborts the run after a duration, and -progress streams
 // pipeline stage events to stderr. Commands reading -in accept "-" for
-// stdin. Flag errors and missing required flags exit with status 2
-// after printing usage; runtime failures exit 1.
+// stdin, transparently gunzip (.txt.gz), and — given -store — resolve
+// stored dataset ids. Flag errors and missing required flags exit with
+// status 2 after printing usage; runtime failures exit 1.
 package main
 
 import (
@@ -43,6 +45,7 @@ import (
 
 	"dpkron/internal/accountant"
 	"dpkron/internal/core"
+	"dpkron/internal/dataset"
 	"dpkron/internal/dp"
 	"dpkron/internal/experiments"
 	"dpkron/internal/graph"
@@ -186,6 +189,8 @@ func main() {
 		err = cmdServe(args)
 	case "budget":
 		err = cmdBudget(args)
+	case "dataset":
+		err = cmdDataset(args)
 	case "datasets":
 		err = cmdDatasets(args)
 	case "help", "-h", "--help":
@@ -219,6 +224,7 @@ commands:
   sscompare  smooth sensitivity: SKG vs density-matched G(n,p)
   serve      run the HTTP/JSON estimation job service
   budget     show, set or reset a privacy-budget ledger
+  dataset    import, list, inspect, export or remove stored datasets
   datasets   list the built-in evaluation datasets
 
 shared flags (all long-running commands):
@@ -310,43 +316,9 @@ func cmdFigure(args []string) error {
 	return nil
 }
 
-// loadGraph reads a SNAP edge list from the named file, or from stdin
-// when path is "-". The read runs on its own goroutine so a stalled
-// producer (an upstream pipe that never closes) cannot outlive the
-// run's -timeout deadline; on cancellation the goroutine is abandoned
-// (the process is about to exit anyway).
-func loadGraph(run *pipeline.Run, path string) (*graph.Graph, error) {
-	type loaded struct {
-		g   *graph.Graph
-		err error
-	}
-	ch := make(chan loaded, 1)
-	go func() {
-		if path == "-" {
-			g, err := graph.ReadEdgeList(os.Stdin, 0)
-			ch <- loaded{g, err}
-			return
-		}
-		f, err := os.Open(path)
-		if err != nil {
-			ch <- loaded{nil, err}
-			return
-		}
-		defer f.Close()
-		g, err := graph.ReadEdgeList(f, 0)
-		ch <- loaded{g, err}
-	}()
-	select {
-	case l := <-ch:
-		return l.g, l.err
-	case <-run.Context().Done():
-		return nil, run.Err()
-	}
-}
-
 func cmdFit(args []string) error {
 	fs := newFlagSet("fit")
-	in := fs.String("in", "", "edge-list file, or - for stdin (required)")
+	in := fs.String("in", "", "edge-list file, - for stdin, or a stored dataset id with -store (required)")
 	method := fs.String("method", "private", "private | mom | mle")
 	eps := fs.Float64("eps", 0.2, "total epsilon (private)")
 	delta := fs.Float64("delta", 0.01, "delta (private)")
@@ -354,6 +326,7 @@ func cmdFit(args []string) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	ledgerPath := fs.String("ledger", "", "privacy-budget ledger file; private fits are debited against it")
 	dataset := fs.String("dataset", "", "ledger dataset id (default: content fingerprint of the input graph)")
+	storeDir := fs.String("store", "", "dataset store directory; lets -in name a stored dataset id")
 	pf := addPipeFlags(fs)
 	if err := parse(fs, args); err != nil {
 		return err
@@ -366,7 +339,7 @@ func cmdFit(args []string) error {
 	}
 	run, cancel := pf.newRun()
 	defer cancel()
-	g, err := loadGraph(run, *in)
+	g, err := loadGraph(run, *in, *storeDir)
 	if err != nil {
 		return err
 	}
@@ -481,7 +454,8 @@ func cmdGenerate(args []string) error {
 
 func cmdStats(args []string) error {
 	fs := newFlagSet("stats")
-	in := fs.String("in", "", "edge-list file, or - for stdin (required)")
+	in := fs.String("in", "", "edge-list file, - for stdin, or a stored dataset id with -store (required)")
+	storeDir := fs.String("store", "", "dataset store directory; lets -in name a stored dataset id")
 	pf := addPipeFlags(fs)
 	if err := parse(fs, args); err != nil {
 		return err
@@ -491,7 +465,7 @@ func cmdStats(args []string) error {
 	}
 	run, cancel := pf.newRun()
 	defer cancel()
-	g, err := loadGraph(run, *in)
+	g, err := loadGraph(run, *in, *storeDir)
 	if err != nil {
 		return err
 	}
@@ -615,6 +589,7 @@ func cmdServe(args []string) error {
 	maxQueue := fs.Int("max-queue", 32, "bound on admitted unfinished jobs (429 beyond it)")
 	maxHistory := fs.Int("max-history", 256, "finished jobs retained for polling before eviction")
 	ledgerPath := fs.String("ledger", "", "privacy-budget ledger file; enables per-dataset enforcement of private fits")
+	storeDir := fs.String("store", "", "dataset store directory; enables /v1/datasets and fit-by-dataset-id")
 	pf := addPipeFlags(fs) // -workers, -timeout (server lifetime), -progress (job event log)
 	if err := parse(fs, args); err != nil {
 		return err
@@ -627,6 +602,14 @@ func cmdServe(args []string) error {
 		}
 		opts.Ledger = led
 		fmt.Fprintf(os.Stderr, "dpkron serve: enforcing privacy budgets from %s\n", led.Path())
+	}
+	if *storeDir != "" {
+		st, err := dataset.Open(*storeDir)
+		if err != nil {
+			return err
+		}
+		opts.Datasets = st
+		fmt.Fprintf(os.Stderr, "dpkron serve: serving datasets from %s\n", st.Dir())
 	}
 	if *pf.progress {
 		// Event streams are serialized per job but concurrent across

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"compress/gzip"
 	"encoding/json"
 	"errors"
 	"io"
@@ -378,6 +379,213 @@ func TestCLIServeEndToEnd(t *testing.T) {
 		}
 		if time.Now().After(deadline) {
 			t.Fatalf("cancel never landed: %v", job)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestCLIDatasetWorkflow walks the store lifecycle end to end:
+// generate an edge list, import it (plain and gzipped), list/info,
+// fit and stats by stored id, export, and remove.
+func TestCLIDatasetWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	edge := filepath.Join(dir, "g.txt")
+	store := filepath.Join(dir, "store")
+	run(t, bin, "generate", "-a", "0.95", "-b", "0.5", "-c", "0.3", "-k", "8", "-seed", "2", "-out", edge)
+
+	// Import; the printed id is the content fingerprint.
+	out := run(t, bin, "dataset", "import", "-store", store, "-in", edge, "-name", "toy")
+	if !strings.Contains(out, "imported ds-") {
+		t.Fatalf("import output: %s", out)
+	}
+	id := strings.TrimSuffix(strings.Fields(out)[1], ":")
+	if !strings.HasPrefix(id, "ds-") {
+		t.Fatalf("no dataset id in output: %s", out)
+	}
+
+	// A gzipped copy of the same list imports to the same id (content-
+	// addressed), exercising transparent gzip on the import path.
+	gzPath := filepath.Join(dir, "g.txt.gz")
+	raw, err := os.ReadFile(edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	gw := gzip.NewWriter(&buf)
+	if _, err := gw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(gzPath, []byte(buf.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = run(t, bin, "dataset", "import", "-store", store, "-in", gzPath)
+	if !strings.Contains(out, id) {
+		t.Fatalf("gzip import produced a different id:\n%s\nwant %s", out, id)
+	}
+
+	// list and info show the dataset.
+	out = run(t, bin, "dataset", "list", "-store", store)
+	if !strings.Contains(out, id) || !strings.Contains(out, "toy") {
+		t.Fatalf("list output: %s", out)
+	}
+	out = run(t, bin, "dataset", "info", "-store", store, "-id", id)
+	if !strings.Contains(out, "nodes:    256") || !strings.Contains(out, "source:   snap") {
+		t.Fatalf("info output: %s", out)
+	}
+
+	// stats and fit accept the stored id via -store; the stats must
+	// agree with reading the original file (bit-identical load).
+	fromFile := run(t, bin, "stats", "-in", edge)
+	fromStore := run(t, bin, "stats", "-in", id, "-store", store)
+	if fromFile != fromStore {
+		t.Fatalf("stats differ between file and store:\n--- file\n%s--- store\n%s", fromFile, fromStore)
+	}
+	out = run(t, bin, "fit", "-in", id, "-store", store, "-method", "mom", "-k", "8")
+	if !strings.Contains(out, "KronMom initiator:") {
+		t.Fatalf("fit by id output: %s", out)
+	}
+
+	// Stats on the gzipped file directly (transparent gzip in loadGraph).
+	if gzStats := run(t, bin, "stats", "-in", gzPath); gzStats != fromFile {
+		t.Fatalf("gzipped stats differ:\n%s", gzStats)
+	}
+
+	// export reproduces a graph with the same fingerprint.
+	exported := filepath.Join(dir, "export.txt")
+	run(t, bin, "dataset", "export", "-store", store, "-id", id, "-out", exported)
+	out = run(t, bin, "dataset", "import", "-store", store, "-in", exported)
+	if !strings.Contains(out, id) {
+		t.Fatalf("exported list re-imports to a different id:\n%s", out)
+	}
+
+	// rm removes it; subsequent info fails (exit 1).
+	run(t, bin, "dataset", "rm", "-store", store, "-id", id)
+	if code, _ := exitCode(t, bin, "", "dataset", "info", "-store", store, "-id", id); code != 1 {
+		t.Fatalf("info after rm: exit %d, want 1", code)
+	}
+}
+
+// TestCLIDatasetUsageErrors: the dataset subcommand obeys the shared
+// exit-2 usage contract.
+func TestCLIDatasetUsageErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	bin := buildCLI(t)
+	for _, args := range [][]string{
+		{"dataset"},                               // missing action
+		{"dataset", "bogus", "-store", "/tmp/s"},  // unknown action
+		{"dataset", "list"},                       // missing -store
+		{"dataset", "import", "-store", "/tmp/s"}, // missing -in
+		{"dataset", "info", "-store", "/tmp/s"},   // missing -id
+		{"dataset", "rm", "-store", "/tmp/s"},     // missing -id
+	} {
+		code, out := exitCode(t, bin, "", args...)
+		if code != 2 {
+			t.Errorf("dpkron %v: exit %d, want 2\n%s", args, code, out)
+		}
+	}
+	// An id-shaped -in without -store is a runtime error with guidance.
+	code, out := exitCode(t, bin, "", "fit", "-in", "ds-0011223344556677")
+	if code != 1 || !strings.Contains(out, "-store") {
+		t.Errorf("fit by id without -store: exit %d\n%s", code, out)
+	}
+}
+
+// TestCLIServeWithStore boots the service with a store and walks
+// upload → fit-by-id over HTTP, sharing the store with the CLI.
+func TestCLIServeWithStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	store := filepath.Join(dir, "store")
+	edge := filepath.Join(dir, "g.txt")
+	run(t, bin, "generate", "-a", "0.95", "-b", "0.5", "-c", "0.3", "-k", "8", "-seed", "2", "-out", edge)
+	out := run(t, bin, "dataset", "import", "-store", store, "-in", edge)
+	id := strings.TrimSuffix(strings.Fields(out)[1], ":")
+
+	cmd := exec.Command(bin, "serve", "-addr", "127.0.0.1:0", "-max-jobs", "1", "-workers", "1", "-store", store)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Signal(os.Interrupt)
+		cmd.Wait()
+	}()
+	var base string
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "http://"); i >= 0 {
+			base = strings.Fields(line[i:])[0]
+			break
+		}
+	}
+	if base == "" {
+		t.Fatal("serve banner with address not seen")
+	}
+	go io.Copy(io.Discard, stderr)
+
+	// The CLI-imported dataset is visible over HTTP...
+	resp, err := http.Get(base + "/v1/datasets/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meta map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || meta["id"] != id {
+		t.Fatalf("GET dataset: %d %v", resp.StatusCode, meta)
+	}
+
+	// ...and fittable by id.
+	resp, err = http.Post(base+"/v1/fit", "application/json",
+		strings.NewReader(`{"method":"mom","k":8,"dataset_id":"`+id+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("fit by id: %d %v", resp.StatusCode, submitted)
+	}
+	jobID := submitted["id"].(string)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + jobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var job map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if s := job["status"]; s == "done" {
+			break
+		} else if s == "failed" || s == "cancelled" {
+			t.Fatalf("fit by id ended %v: %v", s, job)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("fit by id stuck")
 		}
 		time.Sleep(20 * time.Millisecond)
 	}

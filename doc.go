@@ -33,6 +33,19 @@
 // ExampleOpenLedger, and the Accountant type for in-process metering
 // with pluggable composition policies.
 //
+// # Dataset store
+//
+// The register-once, query-many workflow the budgeting story implies
+// has a home: a persistent, content-addressed DatasetStore (OpenStore,
+// ImportDataset). A sensitive graph is imported a single time — from
+// SNAP text, a gzipped stream, or a Matrix Market file, streamed
+// straight into the graph builder — and stored in a compact checksummed
+// binary CSR format whose load is bit-identical to parsing the original
+// edge list and considerably faster. Every later interaction is by the
+// dataset's id, which doubles as its ledger account: `dpkron fit -store
+// DIR -in ds-...` on the command line, "dataset_id" in server fit
+// requests. See ExampleOpenStore.
+//
 // The experiment harness that regenerates the paper's Table 1 and
 // Figures 1–4 lives in cmd/dpkron and the repository-root benchmarks.
 //

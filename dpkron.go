@@ -8,6 +8,7 @@ import (
 	"dpkron/internal/accountant"
 	"dpkron/internal/anf"
 	"dpkron/internal/core"
+	"dpkron/internal/dataset"
 	"dpkron/internal/dp"
 	"dpkron/internal/graph"
 	"dpkron/internal/kronfit"
@@ -52,6 +53,14 @@ type (
 	// LedgerAccount is one dataset's ledger entry (budget, spend,
 	// receipts).
 	LedgerAccount = accountant.Account
+	// DatasetStore is a persistent, content-addressed graph store:
+	// graphs are imported once (from SNAP text, gzip streams, Matrix
+	// Market files or the binary codec) and later loaded by the same
+	// dataset id the privacy ledger charges.
+	DatasetStore = dataset.Store
+	// DatasetMeta is one stored dataset's metadata (id, name, size,
+	// source format, import time).
+	DatasetMeta = dataset.Meta
 	// PrivateOptions configures the paper's Algorithm 1.
 	PrivateOptions = core.Options
 	// PrivateResult is the (ε, δ)-DP estimation outcome.
@@ -101,6 +110,22 @@ func DatasetID(g *Graph) string { return accountant.DatasetID(g) }
 // Algorithm 1's charge schedule is data-independent, so a ledger can
 // be debited before the run is admitted.
 func PlannedReceipt(eps, delta float64) Receipt { return core.PlannedReceipt(eps, delta) }
+
+// OpenStore opens (or initializes) the persistent dataset store rooted
+// at dir. Stored graphs load bit-identically to parsing their original
+// edge lists, so fixed-seed fits of a stored dataset reproduce fits of
+// the source file exactly. See ExampleOpenStore.
+func OpenStore(dir string) (*DatasetStore, error) { return dataset.Open(dir) }
+
+// ImportDataset streams a graph from r into the store under its
+// content-addressed id: SNAP edge-list text, gzipped streams (sniffed
+// by magic), Matrix Market coordinate files and the store's own binary
+// format are all accepted, and none of them materializes an
+// intermediate edge slice. Importing bytes whose graph is already
+// stored is an idempotent no-op returning the existing metadata.
+func ImportDataset(s *DatasetStore, r io.Reader, name string) (DatasetMeta, error) {
+	return s.ImportReader(r, name, dataset.DecodeOptions{})
+}
 
 // NewRun returns a pipeline Run over ctx (nil means background) with
 // the given worker budget (<= 0 selects all cores) and optional

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"dpkron/internal/dp"
+	"dpkron/internal/fslock"
 	"dpkron/internal/graph"
 )
 
@@ -63,7 +64,7 @@ const ledgerVersion = 1
 // A Ledger is safe across goroutines and across processes: every
 // operation serializes through an in-process mutex plus an advisory
 // file lock on <path>.lock (where the platform provides one; see
-// lockFile) and re-reads the file before acting, so a budget set by
+// internal/fslock) and re-reads the file before acting, so a budget set by
 // `dpkron budget set` is visible to an already-running `dpkron serve`,
 // and concurrent fits from separate processes can never jointly
 // overdraw.
@@ -117,7 +118,7 @@ func (l *Ledger) reloadLocked() error {
 func (l *Ledger) withLocked(fn func() error) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	unlock, err := lockFile(l.path + ".lock")
+	unlock, err := fslock.Lock(l.path + ".lock")
 	if err != nil {
 		return fmt.Errorf("accountant: locking ledger: %w", err)
 	}

@@ -1,0 +1,341 @@
+package dataset
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dpkron/internal/accountant"
+	"dpkron/internal/fslock"
+	"dpkron/internal/graph"
+)
+
+// ErrNotFound marks operations naming a dataset id the store does not
+// hold. Servers map it to 404.
+var ErrNotFound = errors.New("dataset: not found")
+
+// Meta is the per-dataset metadata sidecar, persisted as
+// <id>.json next to the binary graph.
+type Meta struct {
+	// ID is the content-addressed dataset id (accountant.DatasetID):
+	// the same id the privacy-budget ledger charges, so budgets follow
+	// the graph bytes, not the upload path.
+	ID string `json:"id"`
+	// Name is the operator-facing label given at import ("ca-grqc").
+	Name string `json:"name,omitempty"`
+	// Nodes and Edges describe the stored graph.
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+	// Source records what the graph was imported from ("snap",
+	// "snap+gzip", "mtx", "dpkg", "generated", ...).
+	Source string `json:"source,omitempty"`
+	// Imported is the UTC time of first import.
+	Imported time.Time `json:"imported"`
+	// Bytes is the size of the binary graph file.
+	Bytes int64 `json:"bytes"`
+}
+
+// Store is a persistent, content-addressed graph store rooted at a
+// directory: each dataset is a binary DPKG graph file plus a JSON
+// metadata sidecar, both written via tmp-file + atomic rename so a
+// crash mid-import leaves no torn dataset. Mutations additionally
+// serialize through an in-process mutex plus an advisory file lock
+// (internal/fslock, the accountant-ledger pattern) and reload nothing —
+// the store keeps no authoritative in-memory state — so separate
+// processes sharing a directory (a `dpkron serve` and a concurrent
+// `dpkron dataset import`) never corrupt it.
+//
+// Ids are content-addressed (accountant.DatasetID): a given id can
+// only ever name one graph, which makes the read cache below always
+// valid and makes re-importing identical bytes a cheap no-op.
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	cache map[string]*graph.Graph // id -> decoded graph (immutable)
+	order []string                // cache eviction order, oldest first
+}
+
+// cacheSize bounds the decoded graphs kept hot; fit-by-id workloads
+// hit the same few datasets repeatedly.
+const cacheSize = 8
+
+// Open returns a Store rooted at dir, creating the directory if
+// needed.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dataset: opening store: %w", err)
+	}
+	return &Store{dir: dir, cache: map[string]*graph.Graph{}}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+const (
+	graphExt = ".dpkg"
+	metaExt  = ".json"
+)
+
+// validID reports whether id is safe to splice into a filename: the
+// "ds-" fingerprint shape with hex digits only, so a hostile id can
+// never traverse out of the store directory.
+func validID(id string) bool {
+	if !strings.HasPrefix(id, "ds-") || len(id) != 3+16 {
+		return false
+	}
+	for _, c := range id[3:] {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) graphPath(id string) string { return filepath.Join(s.dir, id+graphExt) }
+func (s *Store) metaPath(id string) string  { return filepath.Join(s.dir, id+metaExt) }
+
+// lock takes the store's cross-process mutation lock.
+func (s *Store) lock() (unlock func(), err error) {
+	return fslock.Lock(filepath.Join(s.dir, "store.lock"))
+}
+
+// Put imports an in-memory graph under its content fingerprint and
+// returns the dataset's metadata plus whether it was newly created.
+// Importing a graph that is already stored is a no-op returning the
+// existing metadata (the id is content-addressed, so the bytes are
+// guaranteed identical); a half-deleted dataset — metadata surviving a
+// crash mid-Delete without its graph file, or vice versa — is
+// re-imported in full, not mistaken for stored.
+func (s *Store) Put(g *graph.Graph, name, source string) (Meta, bool, error) {
+	id := accountant.DatasetID(g)
+	unlock, err := s.lock()
+	if err != nil {
+		return Meta{}, false, fmt.Errorf("dataset: locking store: %w", err)
+	}
+	defer unlock()
+	if m, err := s.readMeta(id); err == nil {
+		if _, err := os.Stat(s.graphPath(id)); err == nil {
+			return m, false, nil
+		}
+	}
+	data := Marshal(g)
+	if err := writeAtomic(s.graphPath(id), data); err != nil {
+		return Meta{}, false, err
+	}
+	m := Meta{
+		ID:       id,
+		Name:     name,
+		Nodes:    g.NumNodes(),
+		Edges:    g.NumEdges(),
+		Source:   source,
+		Imported: time.Now().UTC().Truncate(time.Second),
+		Bytes:    int64(len(data)),
+	}
+	mb, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return Meta{}, false, err
+	}
+	if err := writeAtomic(s.metaPath(id), append(mb, '\n')); err != nil {
+		return Meta{}, false, err
+	}
+	return m, true, nil
+}
+
+// ImportReader streams a graph from r — SNAP text, gzip, Matrix
+// Market, or DPKG binary, auto-detected — into the store.
+func (s *Store) ImportReader(r io.Reader, name string, opt DecodeOptions) (Meta, error) {
+	g, format, err := DecodeGraph(r, opt)
+	if err != nil {
+		return Meta{}, err
+	}
+	m, _, err := s.Put(g, name, string(format))
+	return m, err
+}
+
+// Load returns the stored graph. The decode is cached (graphs are
+// immutable and ids content-addressed, so cache entries can never go
+// stale), with existence re-checked on disk so a dataset deleted by
+// another process stops resolving.
+func (s *Store) Load(id string) (*graph.Graph, error) {
+	if !validID(id) {
+		return nil, fmt.Errorf("%w: malformed id %q", ErrNotFound, id)
+	}
+	if _, err := os.Stat(s.graphPath(id)); err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+		}
+		return nil, fmt.Errorf("dataset: loading %s: %w", id, err)
+	}
+	s.mu.Lock()
+	if g, ok := s.cache[id]; ok {
+		s.mu.Unlock()
+		return g, nil
+	}
+	s.mu.Unlock()
+	data, err := os.ReadFile(s.graphPath(id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+		}
+		return nil, fmt.Errorf("dataset: loading %s: %w", id, err)
+	}
+	g, err := Unmarshal(data)
+	if err != nil {
+		return nil, fmt.Errorf("dataset %s: %w", id, err)
+	}
+	s.mu.Lock()
+	if _, ok := s.cache[id]; !ok {
+		s.cache[id] = g
+		s.order = append(s.order, id)
+		if len(s.order) > cacheSize {
+			delete(s.cache, s.order[0])
+			s.order = s.order[1:]
+		}
+	}
+	s.mu.Unlock()
+	return g, nil
+}
+
+// Meta returns the stored metadata of a dataset.
+func (s *Store) Meta(id string) (Meta, error) {
+	if !validID(id) {
+		return Meta{}, fmt.Errorf("%w: malformed id %q", ErrNotFound, id)
+	}
+	return s.readMeta(id)
+}
+
+// Has reports whether the store holds the dataset.
+func (s *Store) Has(id string) bool {
+	if !validID(id) {
+		return false
+	}
+	_, err := os.Stat(s.graphPath(id))
+	return err == nil
+}
+
+func (s *Store) readMeta(id string) (Meta, error) {
+	b, err := os.ReadFile(s.metaPath(id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Meta{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+		}
+		return Meta{}, fmt.Errorf("dataset: reading metadata of %s: %w", id, err)
+	}
+	var m Meta
+	if err := json.Unmarshal(b, &m); err != nil {
+		return Meta{}, fmt.Errorf("dataset: metadata of %s is corrupt: %w", id, err)
+	}
+	return m, nil
+}
+
+// List returns the metadata of every stored dataset, sorted by import
+// time then id. The listing is read fresh from disk on every call, so
+// imports and deletes by other processes are always visible.
+func (s *Store) List() ([]Meta, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: listing store: %w", err)
+	}
+	var out []Meta
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, metaExt) {
+			continue
+		}
+		id := strings.TrimSuffix(name, metaExt)
+		if !validID(id) {
+			continue
+		}
+		m, err := s.readMeta(id)
+		if err != nil {
+			if errors.Is(err, ErrNotFound) {
+				continue // raced a concurrent delete
+			}
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Imported.Equal(out[j].Imported) {
+			return out[i].Imported.Before(out[j].Imported)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, nil
+}
+
+// Delete removes a dataset's graph and metadata. Budgets already spent
+// against its id remain in any ledger — deletion frees storage, it
+// does not reset a privacy account.
+func (s *Store) Delete(id string) error {
+	if !validID(id) {
+		return fmt.Errorf("%w: malformed id %q", ErrNotFound, id)
+	}
+	unlock, err := s.lock()
+	if err != nil {
+		return fmt.Errorf("dataset: locking store: %w", err)
+	}
+	defer unlock()
+	if _, err := os.Stat(s.graphPath(id)); os.IsNotExist(err) {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if err := os.Remove(s.graphPath(id)); err != nil {
+		return fmt.Errorf("dataset: deleting %s: %w", id, err)
+	}
+	if err := os.Remove(s.metaPath(id)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("dataset: deleting metadata of %s: %w", id, err)
+	}
+	s.mu.Lock()
+	delete(s.cache, id)
+	for i, cid := range s.order {
+		if cid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// ExportEdgeList writes the stored graph as SNAP edge-list text — the
+// canonical form whose re-import reproduces the identical dataset id.
+func (s *Store) ExportEdgeList(id string, w io.Writer) error {
+	g, err := s.Load(id)
+	if err != nil {
+		return err
+	}
+	return g.WriteEdgeList(w)
+}
+
+// writeAtomic writes data to path via tmp file, fsync and rename, so
+// readers only ever observe complete files.
+func writeAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("dataset: writing %s: %w", path, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("dataset: writing %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("dataset: syncing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("dataset: closing %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("dataset: committing %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+//go:build !unix
+
+// Package fslock provides the advisory cross-process file lock every
+// on-disk store in the module uses for its read-modify-write brackets.
+package fslock
+
+// Lock is a no-op on platforms without flock: stores still serialize
+// all in-process access through their mutexes and re-read their files
+// before every operation, but cross-process mutual exclusion is not
+// guaranteed — run a single store-owning process there.
+func Lock(path string) (unlock func(), err error) {
+	return func() {}, nil
+}

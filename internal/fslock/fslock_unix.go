@@ -1,0 +1,33 @@
+//go:build unix
+
+// Package fslock provides the advisory cross-process file lock every
+// on-disk store in the module uses for its read-modify-write brackets:
+// the accountant's budget ledgers and the dataset store both lock a
+// sidecar file, reload state from disk, mutate, and atomically rename
+// the result into place.
+package fslock
+
+import (
+	"os"
+	"syscall"
+)
+
+// Lock takes an exclusive advisory flock on path (creating it if
+// needed), blocking until the lock is granted, and returns the release
+// function. Advisory locks cooperate only with other flock users —
+// which every store operation in this module is — giving cross-process
+// mutual exclusion for the read-modify-write bracket.
+func Lock(path string) (unlock func(), err error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		// Closing the descriptor releases the flock.
+		f.Close()
+	}, nil
+}

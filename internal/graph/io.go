@@ -4,8 +4,6 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
 )
 
 // ReadEdgeList parses the SNAP edge-list text format: one whitespace-
@@ -17,72 +15,62 @@ import (
 // header preserves isolated nodes across round trips. The result is an
 // undirected simple graph (loops dropped, duplicates merged), matching
 // how the paper treats its datasets.
+//
+// The parse streams through an EdgeListScanner straight into the
+// Builder's packed-pair representation (8 bytes per edge mention), so
+// no intermediate edge slice is materialized.
 func ReadEdgeList(r io.Reader, minNodes int) (*Graph, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<22)
-	var edges [][2]int
+	return ReadEdgeListLimit(r, minNodes, 0)
+}
+
+// ReadEdgeListLimit is ReadEdgeList with a node-count cap (0 = none):
+// input naming a node id at or beyond maxNodes — or declaring that
+// many via a header — is rejected as soon as the offending line or
+// header is seen, before the O(n) graph arrays are allocated. Servers
+// use it so a tiny hostile upload naming node id 2e9 cannot force a
+// multi-gigabyte allocation.
+func ReadEdgeListLimit(r io.Reader, minNodes, maxNodes int) (*Graph, error) {
+	sc := NewEdgeListScanner(r)
+	var pairs []int64
 	maxID := -1
-	line := 0
 	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			if n, ok := headerNodeCount(text); ok && n > minNodes {
-				minNodes = n
-			}
-			continue
-		}
-		fields := strings.Fields(text)
-		if len(fields) < 2 {
-			return nil, fmt.Errorf("graph: line %d: want two fields, got %q", line, text)
-		}
-		u, err := strconv.Atoi(fields[0])
-		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad node id %q: %v", line, fields[0], err)
-		}
-		v, err := strconv.Atoi(fields[1])
-		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: bad node id %q: %v", line, fields[1], err)
-		}
-		if u < 0 || v < 0 {
-			return nil, fmt.Errorf("graph: line %d: negative node id", line)
-		}
+		u, v := sc.Edge()
 		if u > maxID {
 			maxID = u
 		}
 		if v > maxID {
 			maxID = v
 		}
-		edges = append(edges, [2]int{u, v})
+		if maxNodes > 0 && maxID >= maxNodes {
+			return nil, fmt.Errorf("graph: input names node %d, exceeding the cap of %d nodes", maxID, maxNodes)
+		}
+		if u == v {
+			continue // loops dropped, as Builder.AddEdge would
+		}
+		if u > v {
+			u, v = v, u
+		}
+		pairs = append(pairs, int64(u)<<32|int64(v))
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+		return nil, err
 	}
 	n := maxID + 1
+	if hdr := sc.HeaderNodes(); hdr > n {
+		n = hdr
+	}
 	if minNodes > n {
 		n = minNodes
 	}
-	return FromEdges(n, edges), nil
-}
-
-// headerNodeCount extracts a node count from a comment line: either the
-// SNAP convention "# Nodes: N ..." or this package's writer format
-// "# ...: N nodes, ...".
-func headerNodeCount(comment string) (int, bool) {
-	fields := strings.Fields(strings.TrimPrefix(comment, "#"))
-	for i, f := range fields {
-		if strings.EqualFold(f, "nodes:") && i+1 < len(fields) {
-			if n, err := strconv.Atoi(strings.TrimSuffix(fields[i+1], ",")); err == nil && n >= 0 {
-				return n, true
-			}
-		}
-		if strings.EqualFold(strings.TrimSuffix(f, ","), "nodes") && i > 0 {
-			if n, err := strconv.Atoi(fields[i-1]); err == nil && n >= 0 {
-				return n, true
-			}
-		}
+	if maxNodes > 0 && n > maxNodes {
+		return nil, fmt.Errorf("graph: input declares %d nodes, exceeding the cap of %d", n, maxNodes)
 	}
-	return 0, false
+	if n > maxNodeID-1 {
+		return nil, fmt.Errorf("graph: declared node count %d exceeds the %d limit", n, maxNodeID-1)
+	}
+	b := NewBuilderCap(n, len(pairs))
+	b.AddPackedEdges(pairs)
+	return b.Build(), nil
 }
 
 // WriteEdgeList writes the graph in SNAP edge-list format with a header

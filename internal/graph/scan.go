@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// EdgeListScanner is a streaming parser for the SNAP edge-list text
+// format: one whitespace-separated node pair per line, lines starting
+// with '#' ignored (but inspected for node-count headers). It yields
+// one edge per Scan call without materializing the edge list, so
+// importers can feed a Builder — or any other sink — directly from
+// multi-gigabyte files.
+//
+//	sc := graph.NewEdgeListScanner(r)
+//	for sc.Scan() {
+//		u, v := sc.Edge()
+//		...
+//	}
+//	if err := sc.Err(); err != nil { ... }
+type EdgeListScanner struct {
+	sc          *bufio.Scanner
+	line        int
+	u, v        int
+	headerNodes int
+	err         error
+}
+
+// NewEdgeListScanner returns a scanner reading edge-list text from r.
+func NewEdgeListScanner(r io.Reader) *EdgeListScanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	return &EdgeListScanner{sc: sc}
+}
+
+// Scan advances to the next edge, skipping blank lines and comments.
+// It returns false at end of input or on the first malformed line;
+// Err distinguishes the two.
+func (s *EdgeListScanner) Scan() bool {
+	if s.err != nil {
+		return false
+	}
+	for s.sc.Scan() {
+		s.line++
+		text := strings.TrimSpace(s.sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			if n, ok := headerNodeCount(text); ok && n > s.headerNodes {
+				s.headerNodes = n
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			s.err = fmt.Errorf("graph: line %d: want two fields, got %q", s.line, text)
+			return false
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			s.err = fmt.Errorf("graph: line %d: bad node id %q: %v", s.line, fields[0], err)
+			return false
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			s.err = fmt.Errorf("graph: line %d: bad node id %q: %v", s.line, fields[1], err)
+			return false
+		}
+		if u < 0 || v < 0 {
+			s.err = fmt.Errorf("graph: line %d: negative node id", s.line)
+			return false
+		}
+		if u >= maxNodeID || v >= maxNodeID {
+			s.err = fmt.Errorf("graph: line %d: node id exceeds the %d limit", s.line, maxNodeID-1)
+			return false
+		}
+		s.u, s.v = u, v
+		return true
+	}
+	if err := s.sc.Err(); err != nil {
+		s.err = fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	return false
+}
+
+// Edge returns the node pair of the last successful Scan.
+func (s *EdgeListScanner) Edge() (u, v int) { return s.u, s.v }
+
+// HeaderNodes returns the largest node count declared by a comment
+// header seen so far: either the SNAP convention "# Nodes: N ..." or
+// this package's writer format "# ...: N nodes, ...". Zero when no
+// header has been seen. Honouring it preserves isolated nodes across
+// round trips.
+func (s *EdgeListScanner) HeaderNodes() int { return s.headerNodes }
+
+// Err returns the first error encountered, or nil at clean EOF.
+func (s *EdgeListScanner) Err() error { return s.err }
+
+// maxNodeID is the exclusive node-id bound of the CSR representation
+// (int32 adjacency) and of the packed int64 edge keys.
+const maxNodeID = 1 << 31
+
+// headerNodeCount extracts a node count from a comment line: either the
+// SNAP convention "# Nodes: N ..." or this package's writer format
+// "# ...: N nodes, ...".
+func headerNodeCount(comment string) (int, bool) {
+	fields := strings.Fields(strings.TrimPrefix(comment, "#"))
+	for i, f := range fields {
+		if strings.EqualFold(f, "nodes:") && i+1 < len(fields) {
+			if n, err := strconv.Atoi(strings.TrimSuffix(fields[i+1], ",")); err == nil && n >= 0 {
+				return n, true
+			}
+		}
+		if strings.EqualFold(strings.TrimSuffix(f, ","), "nodes") && i > 0 {
+			if n, err := strconv.Atoi(fields[i-1]); err == nil && n >= 0 {
+				return n, true
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,131 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// referenceReadEdgeList is the pre-PR-5 parser shape: accumulate a
+// [][2]int, then FromEdges. The streaming ReadEdgeList must produce
+// identical graphs on every input the old one accepted.
+func referenceReadEdgeList(r io.Reader, minNodes int) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var edges [][2]int
+	maxID := -1
+	for sc.Scan() {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			if n, ok := headerNodeCount(text); ok && n > minNodes {
+				minNodes = n
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		edges = append(edges, [2]int{u, v})
+	}
+	n := maxID + 1
+	if minNodes > n {
+		n = minNodes
+	}
+	return FromEdges(n, edges), nil
+}
+
+// TestReadEdgeListMatchesReference: the streaming parser and the
+// historical slice-based parser agree on the io_test fixture shapes —
+// comments, headers, duplicates, loops, isolated nodes, random graphs.
+func TestReadEdgeListMatchesReference(t *testing.T) {
+	var big strings.Builder
+	big.WriteString("# Nodes: 40 Edges: many\n")
+	g := randomGraph(40, 0.3, 5)
+	g.ForEachEdge(func(u, v int) { fmt.Fprintf(&big, "%d %d\n", u, v) })
+
+	inputs := []string{
+		"",
+		"# only comments\n",
+		"0\t1\n1 2\n\n2\t3\n",
+		"# Nodes: 9 Edges: 1\n0 1\n",
+		"# Undirected graph: 12 nodes, 1 edges\n0 1\n",
+		"0 1\n0 1\n1 0\n3 3\n2 1\n", // duplicates both ways, a loop
+		"5 5\n",                     // loop only: nodes without edges
+		big.String(),
+	}
+	for _, minNodes := range []int{0, 10} {
+		for i, in := range inputs {
+			want, err := referenceReadEdgeList(strings.NewReader(in), minNodes)
+			if err != nil {
+				t.Fatalf("input %d: reference: %v", i, err)
+			}
+			got, err := ReadEdgeList(strings.NewReader(in), minNodes)
+			if err != nil {
+				t.Fatalf("input %d: streaming: %v", i, err)
+			}
+			if !want.Equal(got) {
+				t.Errorf("input %d (minNodes=%d): streaming parse differs from reference (%d/%d nodes, %d/%d edges)",
+					i, minNodes, got.NumNodes(), want.NumNodes(), got.NumEdges(), want.NumEdges())
+			}
+		}
+	}
+}
+
+func TestEdgeScannerBasics(t *testing.T) {
+	sc := NewEdgeListScanner(strings.NewReader("# Nodes: 7\n0 1\n# mid comment, 9 nodes, ok\n2 3 extra-ignored\n"))
+	var got [][2]int
+	for sc.Scan() {
+		u, v := sc.Edge()
+		got = append(got, [2]int{u, v})
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != [2]int{0, 1} || got[1] != [2]int{2, 3} {
+		t.Fatalf("edges = %v", got)
+	}
+	if sc.HeaderNodes() != 9 {
+		t.Errorf("HeaderNodes = %d, want 9 (largest header wins)", sc.HeaderNodes())
+	}
+	// After exhaustion, Scan keeps returning false.
+	if sc.Scan() {
+		t.Error("Scan after EOF returned true")
+	}
+}
+
+func TestEdgeScannerErrors(t *testing.T) {
+	for _, in := range []string{
+		"0\n",
+		"a b\n",
+		"0 x\n",
+		"-1 2\n",
+		"3 -7\n",
+		"0 1\nboom\n",
+		fmt.Sprintf("0 %d\n", int64(1)<<31), // id over the CSR limit
+	} {
+		sc := NewEdgeListScanner(strings.NewReader(in))
+		for sc.Scan() {
+		}
+		if sc.Err() == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+		if sc.Scan() {
+			t.Errorf("input %q: Scan returned true after error", in)
+		}
+	}
+}

@@ -1,14 +1,19 @@
 package server
 
 import (
+	"bufio"
+	"compress/gzip"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"dpkron/internal/accountant"
 	"dpkron/internal/core"
+	"dpkron/internal/dataset"
 	"dpkron/internal/dp"
 	"dpkron/internal/graph"
 	"dpkron/internal/kronfit"
@@ -17,12 +22,13 @@ import (
 	"dpkron/internal/randx"
 	"dpkron/internal/skg"
 	"dpkron/internal/stats"
-	"strconv"
 )
 
-// FitRequest is the body of POST /v1/fit. The graph arrives either as
-// an explicit pair list (Edges, with Nodes optionally raising the node
-// count) or as SNAP edge-list text (EdgeList); exactly one is required.
+// FitRequest is the body of POST /v1/fit. The graph arrives as an
+// explicit pair list (Edges, with Nodes optionally raising the node
+// count), as SNAP edge-list text (EdgeList), or — when the server has
+// a dataset store — as a stored dataset id (DatasetID); exactly one is
+// required.
 type FitRequest struct {
 	// Method selects the estimator: "private" (default), "mom", "mle".
 	Method string `json:"method"`
@@ -46,6 +52,11 @@ type FitRequest struct {
 	Edges [][2]int `json:"edges,omitempty"`
 	// EdgeList is SNAP edge-list text ('#' comments, one pair per line).
 	EdgeList string `json:"edgelist,omitempty"`
+	// DatasetID names a graph previously imported into the server's
+	// dataset store (POST /v1/datasets), replacing the inline forms.
+	// Ledger debits default to this same id, so budget follows the
+	// stored graph.
+	DatasetID string `json:"dataset_id,omitempty"`
 }
 
 // maxGraphNodes caps the node count a fit request may imply. Graph
@@ -61,8 +72,9 @@ func (r *FitRequest) graph() (*graph.Graph, error) {
 		return nil, fmt.Errorf("nodes = %d exceeds the per-request cap of %d", r.Nodes, maxGraphNodes)
 	}
 	switch {
-	case len(r.Edges) > 0 && r.EdgeList != "":
-		return nil, fmt.Errorf("provide edges or edgelist, not both")
+	case (len(r.Edges) > 0 && r.EdgeList != "") ||
+		(r.DatasetID != "" && (len(r.Edges) > 0 || r.EdgeList != "")):
+		return nil, fmt.Errorf("provide exactly one of edges, edgelist or dataset_id")
 	case len(r.Edges) > 0:
 		n := r.Nodes
 		for _, e := range r.Edges {
@@ -206,10 +218,27 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	g, err := req.graph()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+	var g *graph.Graph
+	var err error
+	if req.DatasetID != "" && len(req.Edges) == 0 && req.EdgeList == "" {
+		// Fit-by-id: resolve the stored graph. Unknown ids — and a
+		// server without a store — are 404s with a JSON body, matching
+		// the dataset routes.
+		st := s.requireStore(w)
+		if st == nil {
+			return
+		}
+		g, err = st.Load(req.DatasetID)
+		if err != nil {
+			datasetError(w, err)
+			return
+		}
+	} else {
+		g, err = req.graph()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
 	}
 	// Ledger enforcement: debit the full requested budget at admission
 	// (Algorithm 1's charge schedule is data-independent, so the spend
@@ -221,6 +250,12 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	var refused *accountant.ExhaustedError
 	if s.opts.Ledger != nil && method == "private" {
 		dataset = req.Dataset
+		if dataset == "" {
+			// A stored dataset's id already is its content fingerprint;
+			// inline graphs are fingerprinted here. Either way repeated
+			// fits of the same bytes share one budget account.
+			dataset = req.DatasetID
+		}
 		if dataset == "" {
 			dataset = accountant.DatasetID(g)
 		}
@@ -329,6 +364,14 @@ type GenerateRequest struct {
 	// OmitEdges drops the edge list from the result (counts only) for
 	// large graphs.
 	OmitEdges bool `json:"omit_edges"`
+	// Store saves the sampled graph into the server's dataset store:
+	// the result then carries the dataset metadata, and the graph can
+	// be fitted later by dataset_id instead of re-shipping edges.
+	// Requires a configured store (404 otherwise). Usually paired with
+	// omit_edges.
+	Store bool `json:"store,omitempty"`
+	// Name labels the stored dataset (with store only).
+	Name string `json:"name,omitempty"`
 }
 
 // GenerateResult is the result payload of a completed generate job.
@@ -338,6 +381,9 @@ type GenerateResult struct {
 	// EdgeList is the sampled graph in SNAP edge-list text (omitted
 	// when the request set omit_edges).
 	EdgeList string `json:"edgelist,omitempty"`
+	// Dataset is the stored dataset's metadata (store requests only);
+	// Dataset.ID is directly usable as a fit request's dataset_id.
+	Dataset *dataset.Meta `json:"dataset,omitempty"`
 }
 
 func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
@@ -380,6 +426,12 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	var store *dataset.Store
+	if req.Store {
+		if store = s.requireStore(w); store == nil {
+			return
+		}
+	}
 	j, status, msg := s.submit("generate", nil, func(run *pipeline.Run) (any, error) {
 		rng := randx.New(req.Seed)
 		var g *graph.Graph
@@ -398,6 +450,13 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		res := GenerateResult{Nodes: g.NumNodes(), Edges: g.NumEdges()}
+		if store != nil {
+			meta, _, err := store.Put(g, req.Name, "generated")
+			if err != nil {
+				return nil, err
+			}
+			res.Dataset = &meta
+		}
 		if !req.OmitEdges {
 			var sb strings.Builder
 			if err := g.WriteEdgeList(&sb); err != nil {
@@ -420,9 +479,30 @@ const maxBodyBytes = 64 << 20
 
 // decodeJSON parses a request body, bounding its size and rejecting
 // unknown fields so typos in job specs fail fast instead of silently
-// defaulting.
+// defaulting. Gzipped bodies are transparent — declared via
+// Content-Encoding: gzip or detected by the 1f 8b magic (valid JSON
+// cannot start with those bytes) — so clients can ship multi-million-
+// edge inline lists compressed; both the compressed and decompressed
+// sizes are bounded by the same cap.
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	body := bufio.NewReader(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	var src io.Reader = body
+	gzipped := strings.EqualFold(r.Header.Get("Content-Encoding"), "gzip")
+	if !gzipped {
+		head, _ := body.Peek(2)
+		gzipped = len(head) == 2 && head[0] == 0x1f && head[1] == 0x8b
+	}
+	if gzipped {
+		gz, err := gzip.NewReader(body)
+		if err != nil {
+			return fmt.Errorf("invalid gzip body: %w", err)
+		}
+		defer gz.Close()
+		// Cap the decompressed stream too: a gzip bomb must not expand
+		// past what an uncompressed request could ship.
+		src = io.LimitReader(gz, maxBodyBytes)
+	}
+	dec := json.NewDecoder(src)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("invalid JSON body: %w", err)

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"dpkron/internal/dataset"
+)
+
+// Dataset endpoints (Options.Datasets must be configured):
+//
+//	POST   /v1/datasets        import a graph (streamed body: SNAP text,
+//	                           gzip, Matrix Market or DPKG binary;
+//	                           ?name= labels it). Returns the metadata,
+//	                           201 on first import, 200 when the content
+//	                           was already stored.
+//	GET    /v1/datasets        list stored datasets
+//	GET    /v1/datasets/{id}   one dataset's metadata
+//	DELETE /v1/datasets/{id}   remove a dataset (spent budget remains)
+//
+// Uploads stream through the importers straight into the store — they
+// are not subject to the 64 MiB inline-JSON body cap; Options.
+// MaxUploadBytes (default 1 GiB) bounds them instead.
+
+// requireStore resolves the configured dataset store or answers 404 —
+// the same status unknown dataset ids get, so probing cannot tell "no
+// store" from "not stored".
+func (s *Server) requireStore(w http.ResponseWriter) *dataset.Store {
+	if s.opts.Datasets == nil {
+		writeError(w, http.StatusNotFound, "no dataset store configured (start the server with -store)")
+		return nil
+	}
+	return s.opts.Datasets
+}
+
+// datasetError maps store errors onto HTTP statuses: ErrNotFound and
+// malformed ids are 404s with a JSON body, anything else a 500.
+func datasetError(w http.ResponseWriter, err error) {
+	if errors.Is(err, dataset.ErrNotFound) {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeError(w, http.StatusInternalServerError, err.Error())
+}
+
+func (s *Server) handleDatasetImport(w http.ResponseWriter, r *http.Request) {
+	st := s.requireStore(w)
+	if st == nil {
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
+	g, format, err := dataset.DecodeGraph(body, dataset.DecodeOptions{MaxNodes: maxGraphNodes})
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("upload exceeds the %d-byte limit", s.opts.MaxUploadBytes))
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	m, created, err := st.Put(g, r.URL.Query().Get("name"), string(format))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	status := http.StatusCreated
+	if !created {
+		status = http.StatusOK // identical content already stored
+	}
+	writeJSON(w, status, m)
+}
+
+func (s *Server) handleDatasetList(w http.ResponseWriter, r *http.Request) {
+	st := s.requireStore(w)
+	if st == nil {
+		return
+	}
+	list, err := st.List()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if list == nil {
+		list = []dataset.Meta{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": list})
+}
+
+func (s *Server) handleDatasetMeta(w http.ResponseWriter, r *http.Request) {
+	st := s.requireStore(w)
+	if st == nil {
+		return
+	}
+	m, err := st.Meta(r.PathValue("id"))
+	if err != nil {
+		datasetError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
+	st := s.requireStore(w)
+	if st == nil {
+		return
+	}
+	id := r.PathValue("id")
+	if err := st.Delete(id); err != nil {
+		datasetError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}

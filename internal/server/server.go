@@ -13,7 +13,17 @@
 //	GET    /v1/jobs/{id}        one job with stage progress and result
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/budget/{dataset} a dataset's ledger account (ledger mode)
+//	POST   /v1/datasets         import a graph into the dataset store
+//	GET    /v1/datasets[/{id}]  list stored datasets / one's metadata
+//	DELETE /v1/datasets/{id}    remove a stored dataset
 //	GET    /healthz             liveness probe
+//
+// With Options.Datasets configured, fit requests may name a stored
+// dataset id ("dataset_id") instead of shipping an inline edge list —
+// the register-once, query-many workflow: the graph is uploaded a
+// single time (streamed, gzip-transparent, exempt from the inline body
+// cap) and every subsequent fit references it by its content
+// fingerprint, which is also the id the privacy ledger charges.
 //
 // When Options.Ledger is set, private fits are additionally charged
 // against a persistent per-dataset privacy-budget ledger: the request's
@@ -39,6 +49,7 @@ import (
 	"sync"
 
 	"dpkron/internal/accountant"
+	"dpkron/internal/dataset"
 	"dpkron/internal/parallel"
 	"dpkron/internal/pipeline"
 )
@@ -70,6 +81,13 @@ type Options struct {
 	// body. The debit is conservative — cancelled or failed jobs do
 	// not refund, since their mechanisms may already have drawn noise.
 	Ledger *accountant.Ledger
+	// Datasets, when set, enables the dataset endpoints and
+	// fit-by-dataset-id: graphs are imported once into the persistent
+	// store and later requests reference them by content-addressed id.
+	Datasets *dataset.Store
+	// MaxUploadBytes bounds POST /v1/datasets bodies (default 1 GiB);
+	// inline JSON job bodies keep their own 64 MiB cap.
+	MaxUploadBytes int64
 }
 
 func (o *Options) fill() {
@@ -82,6 +100,9 @@ func (o *Options) fill() {
 	}
 	if o.MaxHistory <= 0 {
 		o.MaxHistory = 256
+	}
+	if o.MaxUploadBytes <= 0 {
+		o.MaxUploadBytes = 1 << 30
 	}
 }
 
@@ -128,6 +149,10 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/budget/{dataset}", s.handleBudget)
+	s.mux.HandleFunc("POST /v1/datasets", s.handleDatasetImport)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
+	s.mux.HandleFunc("GET /v1/datasets/{id}", s.handleDatasetMeta)
+	s.mux.HandleFunc("DELETE /v1/datasets/{id}", s.handleDatasetDelete)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -411,8 +436,16 @@ func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
 	ds := r.PathValue("dataset")
 	acct, ok := s.opts.Ledger.Account(ds)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown dataset %q (set a budget with `dpkron budget set`)", ds))
-		return
+		// A dataset the store holds but the ledger has never seen is a
+		// real dataset with the default-deny zero budget — report that
+		// consistently instead of a 404 that would contradict
+		// GET /v1/datasets/{id}. Ids known to neither are 404s, the
+		// same JSON error shape the fit and dataset routes use.
+		if s.opts.Datasets == nil || !s.opts.Datasets.Has(ds) {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown dataset %q (set a budget with `dpkron budget set`)", ds))
+			return
+		}
+		acct = accountant.Account{}
 	}
 	rem := acct.Remaining()
 	writeJSON(w, http.StatusOK, map[string]any{

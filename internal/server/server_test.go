@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"dpkron/internal/accountant"
+	"dpkron/internal/dataset"
 	"dpkron/internal/dp"
 	"dpkron/internal/graph"
 	"dpkron/internal/randx"
@@ -505,5 +507,378 @@ func TestServerWorkerSplit(t *testing.T) {
 				tc.workers, tc.maxJobs, s.jobWorkers, tc.want)
 		}
 		s.Close()
+	}
+}
+
+// --- Dataset store endpoints (PR 5) ---
+
+func newStoreServer(t *testing.T, led *accountant.Ledger) (*dataset.Store, *httptest.Server) {
+	t.Helper()
+	st, err := dataset.Open(filepath.Join(t.TempDir(), "datasets"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Options{Workers: 2, MaxJobs: 2, Datasets: st, Ledger: led})
+	return st, ts
+}
+
+// upload POSTs raw bytes to /v1/datasets and returns the status and
+// decoded body.
+func upload(t *testing.T, base string, body []byte, headers map[string]string) (int, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/datasets?name=test-graph", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding upload response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func gzipped(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	gw := gzip.NewWriter(&buf)
+	if _, err := gw.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestServerDatasetLifecycle(t *testing.T) {
+	st, ts := newStoreServer(t, nil)
+
+	edges := testEdgeList(t, 8)
+	g, err := graph.ReadEdgeList(strings.NewReader(edges), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantID := accountant.DatasetID(g)
+
+	// First import: 201 with the content-addressed metadata.
+	code, meta := upload(t, ts.URL, []byte(edges), nil)
+	if code != http.StatusCreated {
+		t.Fatalf("upload: status %d (%v)", code, meta)
+	}
+	if meta["id"] != wantID {
+		t.Errorf("uploaded id %v, want %v", meta["id"], wantID)
+	}
+	if meta["nodes"].(float64) != float64(g.NumNodes()) || meta["edges"].(float64) != float64(g.NumEdges()) {
+		t.Errorf("meta %v does not describe the graph (%d nodes, %d edges)", meta, g.NumNodes(), g.NumEdges())
+	}
+	if meta["source"] != "snap" || meta["name"] != "test-graph" {
+		t.Errorf("meta source/name = %v/%v", meta["source"], meta["name"])
+	}
+
+	// Same bytes again: idempotent 200, same id.
+	code, meta2 := upload(t, ts.URL, []byte(edges), nil)
+	if code != http.StatusOK || meta2["id"] != wantID {
+		t.Errorf("re-upload: status %d id %v, want 200 %v", code, meta2["id"], wantID)
+	}
+
+	// Gzipped upload of different content (sniffed, no header): 201.
+	other := testEdgeList(t, 7)
+	code, meta3 := upload(t, ts.URL, gzipped(t, []byte(other)), nil)
+	if code != http.StatusCreated {
+		t.Fatalf("gzip upload: status %d (%v)", code, meta3)
+	}
+	if meta3["source"] != "snap+gzip" {
+		t.Errorf("gzip upload source = %v, want snap+gzip", meta3["source"])
+	}
+	otherID := meta3["id"].(string)
+
+	// Listing shows both; metadata endpoint resolves each.
+	code, list := doJSON(t, http.MethodGet, ts.URL+"/v1/datasets", nil)
+	if code != http.StatusOK || len(list["datasets"].([]any)) != 2 {
+		t.Fatalf("list: status %d (%v)", code, list)
+	}
+	code, one := doJSON(t, http.MethodGet, ts.URL+"/v1/datasets/"+wantID, nil)
+	if code != http.StatusOK || one["id"] != wantID {
+		t.Fatalf("meta: status %d (%v)", code, one)
+	}
+
+	// The store on disk holds the binary graph, bit-identical.
+	back, err := st.Load(wantID)
+	if err != nil || !g.Equal(back) {
+		t.Fatalf("stored graph differs: %v", err)
+	}
+
+	// Fit by dataset id (non-private, no ledger needed).
+	code, resp := doJSON(t, http.MethodPost, ts.URL+"/v1/fit", FitRequest{
+		Method: "mom", K: 8, DatasetID: wantID,
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("fit by id: status %d (%v)", code, resp)
+	}
+	if job := pollJob(t, ts.URL, resp["id"].(string), 60*time.Second); job["status"] != StatusDone {
+		t.Fatalf("fit by id ended %v: %v", job["status"], job)
+	}
+
+	// Delete; the id then 404s on every route that takes one.
+	if code, resp := doJSON(t, http.MethodDelete, ts.URL+"/v1/datasets/"+otherID, nil); code != http.StatusOK {
+		t.Fatalf("delete: status %d (%v)", code, resp)
+	}
+	if code, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/datasets/"+otherID, nil); code != http.StatusNotFound {
+		t.Errorf("meta after delete: status %d, want 404", code)
+	}
+	if code, _ := doJSON(t, http.MethodDelete, ts.URL+"/v1/datasets/"+otherID, nil); code != http.StatusNotFound {
+		t.Errorf("double delete: status %d, want 404", code)
+	}
+	code, resp = doJSON(t, http.MethodPost, ts.URL+"/v1/fit", FitRequest{Method: "mom", K: 8, DatasetID: otherID})
+	if code != http.StatusNotFound {
+		t.Errorf("fit by deleted id: status %d, want 404 (%v)", code, resp)
+	}
+	if msg, _ := resp["error"].(string); msg == "" {
+		t.Errorf("404 body lacks JSON error: %v", resp)
+	}
+}
+
+// TestServerDatasetValidation: malformed uploads and requests answer
+// with typed statuses, and unknown ids 404 consistently across fit,
+// dataset and budget routes (the satellite contract).
+func TestServerDatasetValidation(t *testing.T) {
+	led, err := accountant.Open(filepath.Join(t.TempDir(), "ledger.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newStoreServer(t, led)
+
+	// Bad uploads are 400s with a JSON error body.
+	for name, body := range map[string][]byte{
+		"unparsable":   []byte("0 x\n"),
+		"node-id-bomb": []byte("0 999999999\n"),
+		"corrupt-dpkg": append([]byte("DPKG"), 0xff, 0xff),
+		"garbage-gzip": {0x1f, 0x8b, 0x00, 0x00},
+	} {
+		code, resp := upload(t, ts.URL, body, nil)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%v)", name, code, resp)
+		}
+		if msg, _ := resp["error"].(string); msg == "" {
+			t.Errorf("%s: 400 body lacks JSON error: %v", name, resp)
+		}
+	}
+
+	// Unknown dataset ids: 404 JSON on fit, dataset and budget routes.
+	const ghost = "ds-00112233445566ff"
+	for name, probe := range map[string]func() (int, map[string]any){
+		"fit": func() (int, map[string]any) {
+			return doJSON(t, http.MethodPost, ts.URL+"/v1/fit", FitRequest{Method: "private", DatasetID: ghost})
+		},
+		"meta":   func() (int, map[string]any) { return doJSON(t, http.MethodGet, ts.URL+"/v1/datasets/"+ghost, nil) },
+		"delete": func() (int, map[string]any) { return doJSON(t, http.MethodDelete, ts.URL+"/v1/datasets/"+ghost, nil) },
+		"budget": func() (int, map[string]any) { return doJSON(t, http.MethodGet, ts.URL+"/v1/budget/"+ghost, nil) },
+	} {
+		code, resp := probe()
+		if code != http.StatusNotFound {
+			t.Errorf("%s with unknown id: status %d, want 404 (%v)", name, code, resp)
+		}
+		if msg, _ := resp["error"].(string); msg == "" {
+			t.Errorf("%s: 404 body lacks JSON error: %v", name, resp)
+		}
+	}
+
+	// A stored dataset with no ledger account reports its default-deny
+	// zero budget instead of 404 (it is a known dataset).
+	code, meta := upload(t, ts.URL, []byte(testEdgeList(t, 7)), nil)
+	if code != http.StatusCreated {
+		t.Fatalf("upload: status %d", code)
+	}
+	code, acct := doJSON(t, http.MethodGet, ts.URL+"/v1/budget/"+meta["id"].(string), nil)
+	if code != http.StatusOK {
+		t.Fatalf("budget of stored-but-unbudgeted dataset: status %d (%v)", code, acct)
+	}
+	if rem := acct["remaining"].(map[string]any); rem["eps"].(float64) != 0 {
+		t.Errorf("unbudgeted remaining = %v, want 0", acct["remaining"])
+	}
+
+	// Mixing inline and stored forms is a 400.
+	code, resp := doJSON(t, http.MethodPost, ts.URL+"/v1/fit", FitRequest{
+		Method: "mom", DatasetID: meta["id"].(string), EdgeList: "0 1\n",
+	})
+	if code != http.StatusBadRequest {
+		t.Errorf("dataset_id+edgelist: status %d, want 400 (%v)", code, resp)
+	}
+}
+
+// TestServerDatasetRoutesWithoutStore: a server started without a
+// store answers 404 on the dataset surface.
+func TestServerDatasetRoutesWithoutStore(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, MaxJobs: 1})
+	if code, _ := upload(t, ts.URL, []byte("0 1\n"), nil); code != http.StatusNotFound {
+		t.Errorf("upload without store: status %d, want 404", code)
+	}
+	if code, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/datasets", nil); code != http.StatusNotFound {
+		t.Errorf("list without store: status %d, want 404", code)
+	}
+	if code, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/fit", FitRequest{Method: "mom", DatasetID: "ds-0011223344556677"}); code != http.StatusNotFound {
+		t.Errorf("fit by id without store: status %d, want 404", code)
+	}
+	if code, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/generate", GenerateRequest{A: 0.9, B: 0.5, C: 0.3, K: 5, Store: true}); code != http.StatusNotFound {
+		t.Errorf("generate-into-store without store: status %d, want 404", code)
+	}
+}
+
+// TestServerGenerateIntoStore: a generate job can persist its sample
+// as a dataset, and the returned id immediately works for fit-by-id.
+func TestServerGenerateIntoStore(t *testing.T) {
+	st, ts := newStoreServer(t, nil)
+	code, resp := doJSON(t, http.MethodPost, ts.URL+"/v1/generate", GenerateRequest{
+		A: 0.95, B: 0.55, C: 0.3, K: 8, Seed: 3, Method: "exact", Store: true, Name: "synthetic-8", OmitEdges: true,
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("generate: status %d (%v)", code, resp)
+	}
+	job := pollJob(t, ts.URL, resp["id"].(string), 60*time.Second)
+	if job["status"] != StatusDone {
+		t.Fatalf("generate ended %v: %v", job["status"], job)
+	}
+	result := job["result"].(map[string]any)
+	ds, _ := result["dataset"].(map[string]any)
+	if ds == nil {
+		t.Fatalf("result lacks dataset metadata: %v", result)
+	}
+	id := ds["id"].(string)
+	if ds["name"] != "synthetic-8" || ds["source"] != "generated" {
+		t.Errorf("stored meta name/source = %v/%v", ds["name"], ds["source"])
+	}
+	if _, hasEdges := result["edgelist"]; hasEdges {
+		t.Errorf("omit_edges ignored: %v", result)
+	}
+	// The stored sample equals a local sample with the same seed.
+	m, _ := skg.NewModel(skg.Initiator{A: 0.95, B: 0.55, C: 0.3}, 8)
+	want := m.SampleExact(randx.New(3))
+	back, err := st.Load(id)
+	if err != nil || !want.Equal(back) {
+		t.Fatalf("stored sample differs from local sample: %v", err)
+	}
+	// Round trip: fit the stored dataset by id.
+	code, resp = doJSON(t, http.MethodPost, ts.URL+"/v1/fit", FitRequest{Method: "mom", K: 8, DatasetID: id})
+	if code != http.StatusAccepted {
+		t.Fatalf("fit stored sample: status %d (%v)", code, resp)
+	}
+	if job := pollJob(t, ts.URL, resp["id"].(string), 60*time.Second); job["status"] != StatusDone {
+		t.Fatalf("fit stored sample ended %v", job["status"])
+	}
+}
+
+// TestServerInlineGzipBody: inline JSON job bodies are transparently
+// gunzipped, via the Content-Encoding header or the sniffed magic.
+func TestServerInlineGzipBody(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, MaxJobs: 2})
+	body, err := json.Marshal(FitRequest{Method: "mom", K: 8, EdgeList: testEdgeList(t, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, headers := range map[string]map[string]string{
+		"content-encoding": {"Content-Encoding": "gzip"},
+		"sniffed":          {},
+	} {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/fit", bytes.NewReader(gzipped(t, body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range headers {
+			req.Header.Set(k, v)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("%s: status %d (%v)", name, resp.StatusCode, out)
+		}
+		if job := pollJob(t, ts.URL, out["id"].(string), 60*time.Second); job["status"] != StatusDone {
+			t.Fatalf("%s: gzipped fit ended %v", name, job["status"])
+		}
+	}
+}
+
+// TestServerFitByIDWithLedger is the PR 5 acceptance sequence: import
+// once over HTTP, fit twice by dataset id against one ledger, and hit
+// 429 with the remaining budget exactly when the account runs dry.
+func TestServerFitByIDWithLedger(t *testing.T) {
+	led, err := accountant.Open(filepath.Join(t.TempDir(), "ledger.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newStoreServer(t, led)
+
+	// Register the dataset once (gzipped upload for good measure).
+	code, meta := upload(t, ts.URL, gzipped(t, []byte(testEdgeList(t, 8))), map[string]string{"Content-Encoding": "gzip"})
+	if code != http.StatusCreated {
+		t.Fatalf("upload: status %d (%v)", code, meta)
+	}
+	id := meta["id"].(string)
+
+	fitByID := func() (int, map[string]any) {
+		return doJSON(t, http.MethodPost, ts.URL+"/v1/fit", FitRequest{
+			Method: "private", Eps: 0.4, Delta: 0.01, K: 8, Seed: 3, DatasetID: id,
+		})
+	}
+
+	// Default-deny before any budget exists.
+	if code, resp := fitByID(); code != http.StatusTooManyRequests {
+		t.Fatalf("fit without budget: status %d, want 429 (%v)", code, resp)
+	}
+
+	// Budget for exactly two (0.4, 0.01) fits; debits key to the
+	// stored dataset id — no separate fingerprint account.
+	if err := led.SetBudget(id, dp.Budget{Eps: 0.9, Delta: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		code, resp := fitByID()
+		if code != http.StatusAccepted {
+			t.Fatalf("fit %d: status %d, want 202 (%v)", i, code, resp)
+		}
+		job := pollJob(t, ts.URL, resp["id"].(string), 60*time.Second)
+		if job["status"] != StatusDone {
+			t.Fatalf("fit %d ended %v: %v", i, job["status"], job)
+		}
+		result := job["result"].(map[string]any)
+		if result["dataset"] != id {
+			t.Errorf("fit %d charged dataset %v, want %v", i, result["dataset"], id)
+		}
+	}
+
+	// Third fit refused: 429 naming the dataset and the remainder.
+	code, resp := fitByID()
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("third fit: status %d, want 429 (%v)", code, resp)
+	}
+	if resp["dataset"] != id {
+		t.Errorf("429 names dataset %v, want %v", resp["dataset"], id)
+	}
+	rem := resp["remaining"].(map[string]any)
+	if eps := rem["eps"].(float64); math.Abs(eps-0.1) > 1e-9 {
+		t.Errorf("remaining eps = %v, want 0.1", eps)
+	}
+
+	// The budget endpoint agrees, keyed by the same id.
+	code, acct := doJSON(t, http.MethodGet, ts.URL+"/v1/budget/"+id, nil)
+	if code != http.StatusOK {
+		t.Fatalf("GET budget: status %d", code)
+	}
+	if spent := acct["spent"].(map[string]any); math.Abs(spent["eps"].(float64)-0.8) > 1e-9 {
+		t.Errorf("spent = %v, want eps 0.8", acct["spent"])
 	}
 }

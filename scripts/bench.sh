@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Runs the perf-trajectory benchmarks (graph construction, KronFit
 # Metropolis, ball dropping — the hot paths optimized in PR 2 — plus
-# PR 3's pipeline-overhead pairs and PR 4's mechanism-dispatch pairs)
-# and writes their numbers to BENCH_4.json so future PRs have a
-# recorded trajectory to compare against.
+# PR 3's pipeline-overhead pairs, PR 4's mechanism-dispatch pairs and
+# PR 5's dataset text-parse vs binary-load pairs) and writes their
+# numbers to BENCH_5.json so future PRs have a recorded trajectory to
+# compare against.
 #
 # Usage: scripts/bench.sh [output.json]
 #
@@ -35,17 +36,22 @@
 # likewise paired into a "mechanism_dispatch" section:
 # accounted_over_direct is the ns/op ratio of drawing noise through a
 # charged accountant mechanism to the direct dp call on the same
-# release unit (PR 4's acceptance bound is <= 1.02).
+# release unit (PR 4's acceptance bound is <= 1.02). The DatasetLoad
+# family is paired into a "dataset_load" section: binary_over_text is
+# the ns/op ratio of decoding the store's binary CSR form to parsing
+# the same graph's SNAP text (PR 5's acceptance bar is well under 1 —
+# binary load measurably faster — at any benchtime, since both legs
+# decode from memory on the same machine).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_4.json}"
+out="${1:-BENCH_5.json}"
 benchtime="${BENCHTIME:-3x}"
 dispatch_benchtime="${DISPATCH_BENCHTIME:-500x}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run=NONE -bench='GraphBuild|KronFitMetropolis|BallDropN|PipelineOverhead' \
+go test -run=NONE -bench='GraphBuild|KronFitMetropolis|BallDropN|PipelineOverhead|DatasetLoad' \
   -benchtime="$benchtime" -count=1 . | tee "$raw" >&2
 go test -run=NONE -bench='MechanismDispatch' \
   -benchtime="$dispatch_benchtime" -count="${DISPATCH_COUNT:-3}" . | tee -a "$raw" >&2
@@ -81,7 +87,7 @@ BEGIN {
   }
   n = 0
 }
-/^Benchmark(GraphBuild|KronFitMetropolis|BallDropN|PipelineOverhead|MechanismDispatch)\// {
+/^Benchmark(GraphBuild|KronFitMetropolis|BallDropN|PipelineOverhead|MechanismDispatch|DatasetLoad)\// {
   name = $1
   sub(/^Benchmark/, "", name)
   sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
@@ -113,7 +119,7 @@ END {
   "go env GOVERSION" | getline gover
   "date -u +%Y-%m-%dT%H:%M:%SZ" | getline stamp
   printf "{\n"
-  printf "  \"pr\": 4,\n"
+  printf "  \"pr\": 5,\n"
   printf "  \"generated\": \"%s\",\n", stamp
   printf "  \"go\": \"%s\",\n", gover
   printf "  \"benchtime\": \"%s\",\n", benchtime
@@ -175,6 +181,30 @@ END {
     accounted = ns_by_name[stem "-accounted"] + 0
     printf "    {\"release\": \"%s\", \"direct_ns_op\": %.0f, \"accounted_ns_op\": %.0f, \"accounted_over_direct\": %.4f}%s\n", \
       short, direct, accounted, accounted / direct, (i < nm - 1 ? "," : "")
+  }
+  printf "  ],\n"
+  # Matched text/binary pairs -> dataset-load speed ratios.
+  printf "  \"dataset_load\": [\n"
+  nd = 0
+  for (name in ns_by_name) {
+    if (name ~ /^DatasetLoad\/.*-text$/) {
+      stem = name
+      sub(/-text$/, "", stem)
+      binname = stem "-binary"
+      if (binname in ns_by_name) dpairs[nd++] = stem
+    }
+  }
+  for (i = 0; i < nd; i++)
+    for (j = i + 1; j < nd; j++)
+      if (dpairs[j] < dpairs[i]) { tmp = dpairs[i]; dpairs[i] = dpairs[j]; dpairs[j] = tmp }
+  for (i = 0; i < nd; i++) {
+    stem = dpairs[i]
+    short = stem
+    sub(/^DatasetLoad\//, "", short)
+    text = ns_by_name[stem "-text"] + 0
+    bin = ns_by_name[stem "-binary"] + 0
+    printf "    {\"graph\": \"%s\", \"text_parse_ns_op\": %.0f, \"binary_load_ns_op\": %.0f, \"binary_over_text\": %.4f, \"speedup\": %.2f}%s\n", \
+      short, text, bin, bin / text, text / bin, (i < nd - 1 ? "," : "")
   }
   printf "  ]\n}\n"
 }' "$raw" > "$out"
