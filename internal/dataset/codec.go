@@ -92,6 +92,15 @@ func Marshal(g *graph.Graph) []byte {
 // before parsing. Damaged input returns an error wrapping one of the
 // typed errors above; it never panics.
 func Unmarshal(data []byte) (*graph.Graph, error) {
+	return UnmarshalLimit(data, 0)
+}
+
+// UnmarshalLimit is Unmarshal with a node-count cap (0 = none): input
+// whose header declares more than maxNodes nodes is rejected as soon
+// as the header varint is parsed, before the O(n+m) graph arrays are
+// allocated. Servers use it so a hostile upload cannot decode into
+// arrays far larger than the upload itself.
+func UnmarshalLimit(data []byte, maxNodes int) (*graph.Graph, error) {
 	if len(data) < len(magic) {
 		return nil, fmt.Errorf("%w: %d bytes", ErrTruncated, len(data))
 	}
@@ -106,13 +115,17 @@ func Unmarshal(data []byte) (*graph.Graph, error) {
 	if subtle.ConstantTimeCompare(want[:], sum) != 1 {
 		return nil, ErrChecksum
 	}
-	return decodePayload(payload)
+	return decodePayloadLimit(payload, maxNodes)
 }
 
 // decodePayload parses the checksummed region (magic through rows).
 // It is split from Unmarshal so the fuzz harness can drive the parser
 // directly, without a valid checksum shielding it from mutated input.
 func decodePayload(payload []byte) (*graph.Graph, error) {
+	return decodePayloadLimit(payload, 0)
+}
+
+func decodePayloadLimit(payload []byte, maxNodes int) (*graph.Graph, error) {
 	if len(payload) < len(magic) || [4]byte(payload[:4]) != magic {
 		return nil, ErrBadMagic
 	}
@@ -127,6 +140,9 @@ func decodePayload(payload []byte) (*graph.Graph, error) {
 	nodes, p, err := uvarint(p)
 	if err != nil {
 		return nil, err
+	}
+	if maxNodes > 0 && nodes > uint64(maxNodes) {
+		return nil, fmt.Errorf("dataset: input has %d nodes, exceeding the cap of %d", nodes, maxNodes)
 	}
 	edges, p, err := uvarint(p)
 	if err != nil {
@@ -143,7 +159,18 @@ func decodePayload(payload []byte) (*graph.Graph, error) {
 		return nil, fmt.Errorf("%w: %d edges in %d payload bytes", ErrCorrupt, edges, len(p))
 	}
 	n, m := int(nodes), int(edges)
-	pairs := make([]int64, 0, m)
+	// The edge header is attacker-controlled (the checksum proves
+	// nothing — an attacker computes both), so like the importers'
+	// declared entry counts it is only a capacity hint: clamp it so a
+	// padded upload declaring 1e9 edges cannot force an 8x-amplified
+	// up-front allocation. Growth by append stays bounded by the gap
+	// varints actually present, and the row/total checks below still
+	// hold the file to exactly m edges.
+	hint := m
+	if hint > maxEdgeHint {
+		hint = maxEdgeHint
+	}
+	pairs := make([]int64, 0, hint)
 	for u := 0; u < n; u++ {
 		cnt, rest, err := uvarint(p)
 		if err != nil {
@@ -209,9 +236,14 @@ func Encode(w io.Writer, g *graph.Graph) error {
 
 // DecodeBinary reads a DPKG-encoded graph from r (to EOF).
 func DecodeBinary(r io.Reader) (*graph.Graph, error) {
+	return DecodeBinaryLimit(r, 0)
+}
+
+// DecodeBinaryLimit is DecodeBinary with UnmarshalLimit's node cap.
+func DecodeBinaryLimit(r io.Reader, maxNodes int) (*graph.Graph, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, fmt.Errorf("dataset: reading graph: %w", err)
 	}
-	return Unmarshal(data)
+	return UnmarshalLimit(data, maxNodes)
 }

@@ -3,6 +3,7 @@ package dataset
 import (
 	"bytes"
 	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"testing"
 
@@ -154,6 +155,23 @@ func TestCodecErrors(t *testing.T) {
 		bad[4] = 99 // version varint
 		if _, err := decodePayload(bad[:len(bad)-checksumLen]); !errors.Is(err, ErrBadVersion) {
 			t.Errorf("version 99: got %v, want ErrBadVersion", err)
+		}
+	})
+
+	t.Run("node-cap-at-header", func(t *testing.T) {
+		// A checksummed file declaring 2^30 nodes must be rejected at
+		// the header varint — before any O(n) allocation — when a cap
+		// is set, even though the payload itself is tiny.
+		payload := []byte{'D', 'P', 'K', 'G', 1}
+		payload = binary.AppendUvarint(payload, 1<<30)
+		payload = binary.AppendUvarint(payload, 0)
+		sum := sha256.Sum256(payload)
+		if _, err := UnmarshalLimit(append(payload, sum[:]...), 1000); err == nil {
+			t.Error("over-cap header decoded successfully")
+		}
+		// The in-range graph still decodes under the same cap.
+		if _, err := UnmarshalLimit(good, 1000); err != nil {
+			t.Errorf("in-cap graph: %v", err)
 		}
 	})
 

@@ -3,6 +3,7 @@ package dataset
 import (
 	"bufio"
 	"compress/gzip"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -10,6 +11,10 @@ import (
 
 	"dpkron/internal/graph"
 )
+
+// ErrTooLarge marks input whose decompressed size exceeds
+// DecodeOptions.MaxBytes. Servers map it to 413.
+var ErrTooLarge = errors.New("dataset: input exceeds the size limit")
 
 // Format identifies a source graph encoding the importers understand.
 type Format string
@@ -34,6 +39,10 @@ type DecodeOptions struct {
 	MaxNodes int
 	// MinNodes raises the node count (isolated trailing nodes).
 	MinNodes int
+	// MaxBytes bounds the decompressed input size (0 = no bound), so a
+	// gzip bomb cannot expand past what an uncompressed upload of the
+	// same cap could ship. Exceeding it fails with ErrTooLarge.
+	MaxBytes int64
 }
 
 // DecodeGraph reads a graph from r, transparently gunzipping (by the
@@ -56,13 +65,34 @@ func DecodeGraph(r io.Reader, opt DecodeOptions) (*graph.Graph, Format, error) {
 			return nil, "", fmt.Errorf("dataset: opening gzip stream: %w", err)
 		}
 		defer gz.Close()
-		src = bufio.NewReaderSize(gz, 1<<16)
+		var inner io.Reader = gz
+		if opt.MaxBytes > 0 {
+			inner = &limitReader{r: gz, limit: opt.MaxBytes, n: opt.MaxBytes}
+		}
+		src = bufio.NewReaderSize(inner, 1<<16)
 	}
 	format, g, err := decodeSniffed(src, opt)
 	if gzipped {
 		format += "+gzip"
 	}
 	return g, format, err
+}
+
+// limitReader errors — rather than silently truncating like
+// io.LimitReader — once more than limit bytes have been read, so an
+// over-limit stream can never parse as a valid smaller graph.
+type limitReader struct {
+	r        io.Reader
+	limit, n int64
+}
+
+func (l *limitReader) Read(p []byte) (int, error) {
+	k, err := l.r.Read(p)
+	l.n -= int64(k)
+	if l.n < 0 {
+		return k, fmt.Errorf("%w: more than %d decompressed bytes", ErrTooLarge, l.limit)
+	}
+	return k, err
 }
 
 // sniffGzip reports whether the stream starts with the gzip magic,
@@ -83,14 +113,10 @@ func decodeSniffed(br *bufio.Reader, opt DecodeOptions) (Format, *graph.Graph, e
 		return "", nil, fmt.Errorf("dataset: sniffing input: %w", err)
 	}
 	if len(head) == len(magic) && [4]byte(head) == magic {
-		g, err := DecodeBinary(br)
-		if err != nil {
-			return FormatBinary, nil, err
-		}
-		if opt.MaxNodes > 0 && g.NumNodes() > opt.MaxNodes {
-			return FormatBinary, nil, fmt.Errorf("dataset: input has %d nodes, exceeding the cap of %d", g.NumNodes(), opt.MaxNodes)
-		}
-		return FormatBinary, g, nil
+		// The cap is enforced inside the decoder, right after the node
+		// header varint, so an over-cap file never allocates its arrays.
+		g, err := DecodeBinaryLimit(br, opt.MaxNodes)
+		return FormatBinary, g, err
 	}
 	if line, _ := br.Peek(len(mmBanner)); strings.HasPrefix(string(line), mmBanner) {
 		g, err := decodeMatrixMarket(br, opt)
@@ -107,6 +133,11 @@ func decodeSNAP(r io.Reader, opt DecodeOptions) (*graph.Graph, error) {
 }
 
 const mmBanner = "%%MatrixMarket"
+
+// maxEdgeHint caps how many edge slots a declared-but-unverified entry
+// count may pre-allocate (8 MiB of packed pairs); real inputs beyond
+// it just grow by append.
+const maxEdgeHint = 1 << 20
 
 // decodeMatrixMarket parses the coordinate Matrix Market format as an
 // undirected simple graph: banner, '%' comments, a "rows cols nnz"
@@ -154,11 +185,23 @@ func decodeMatrixMarket(r *bufio.Reader, opt DecodeOptions) (*graph.Graph, error
 			if rows > 1<<31-1 {
 				return nil, fmt.Errorf("dataset: input declares %d nodes, exceeding the CSR limit", rows)
 			}
+			if int64(nnz) > int64(rows)*int64(rows) {
+				return nil, fmt.Errorf("dataset: matrix market: %d entries impossible in a %dx%d matrix", nnz, rows, rows)
+			}
 			n = rows
 			if opt.MinNodes > n {
 				n = opt.MinNodes
 			}
-			b, want = graph.NewBuilderCap(n, nnz), nnz
+			// The declared nnz is attacker-controlled until the entries
+			// are actually read, so it is only a capacity hint: clamp it
+			// so a tiny upload declaring a huge count cannot force a
+			// large up-front allocation. The got/want checks below still
+			// hold the input to the declared count exactly.
+			hint := nnz
+			if hint > maxEdgeHint {
+				hint = maxEdgeHint
+			}
+			b, want = graph.NewBuilderCap(n, hint), nnz
 			continue
 		}
 		if len(fields) < 2 {

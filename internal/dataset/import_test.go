@@ -3,6 +3,7 @@ package dataset
 import (
 	"bytes"
 	"compress/gzip"
+	"errors"
 	"strings"
 	"testing"
 
@@ -64,6 +65,7 @@ func TestDecodeGraphMatrixMarketErrors(t *testing.T) {
 		"missing-size":   "%%MatrixMarket matrix coordinate pattern general\n% only comments\n",
 		"truncated":      "%%MatrixMarket matrix coordinate pattern general\n3 3 5\n1 2\n2 3\n",
 		"excess-entries": "%%MatrixMarket matrix coordinate pattern general\n3 3 1\n1 2\n2 3\n",
+		"impossible-nnz": "%%MatrixMarket matrix coordinate pattern general\n2 2 1000000000\n1 2\n",
 	} {
 		if _, _, err := DecodeGraph(strings.NewReader(in), DecodeOptions{}); err == nil {
 			t.Errorf("%s: decoded successfully, want error", name)
@@ -103,6 +105,30 @@ func TestDecodeGraphMaxNodes(t *testing.T) {
 	big := graph.Path(5000)
 	if _, _, err := DecodeGraph(bytes.NewReader(Marshal(big)), DecodeOptions{MaxNodes: 1000}); err == nil {
 		t.Error("dpkg over cap decoded successfully")
+	}
+}
+
+func TestDecodeGraphMaxBytes(t *testing.T) {
+	// A megabyte of repeated edges gzips to a few KiB; with MaxBytes
+	// below the decompressed size the bomb is a typed ErrTooLarge, not
+	// a silently truncated (but valid-looking) smaller graph.
+	bomb := gzipBytes(t, bytes.Repeat([]byte("0 1\n"), 1<<18))
+	if _, _, err := DecodeGraph(bytes.NewReader(bomb), DecodeOptions{MaxBytes: 1 << 16}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("gzip bomb: got %v, want ErrTooLarge", err)
+	}
+	// The same stream passes once the cap accommodates it.
+	if _, _, err := DecodeGraph(bytes.NewReader(bomb), DecodeOptions{MaxBytes: 1 << 23}); err != nil {
+		t.Fatalf("in-cap gzip: %v", err)
+	}
+}
+
+func TestDecodeGraphMatrixMarketHugeDeclaredNnz(t *testing.T) {
+	// A tiny upload declaring two billion entries must fail on the
+	// entry-count mismatch, not pre-allocate gigabytes for the
+	// declared count (the hint is clamped to maxEdgeHint).
+	in := "%%MatrixMarket matrix coordinate pattern general\n50000 50000 2000000000\n1 2\n"
+	if _, _, err := DecodeGraph(strings.NewReader(in), DecodeOptions{}); err == nil {
+		t.Error("decoded successfully, want truncation error")
 	}
 }
 

@@ -55,6 +55,10 @@ type Meta struct {
 // Ids are content-addressed (accountant.DatasetID): a given id can
 // only ever name one graph, which makes the read cache below always
 // valid and makes re-importing identical bytes a cheap no-op.
+//
+// Cross-process safety assumes POSIX semantics: on non-unix builds
+// fslock is a documented no-op and rename-over-existing may fail, so
+// there a store directory should be used by a single process.
 type Store struct {
 	dir string
 
@@ -256,10 +260,10 @@ func (s *Store) List() ([]Meta, error) {
 		}
 		m, err := s.readMeta(id)
 		if err != nil {
-			if errors.Is(err, ErrNotFound) {
-				continue // raced a concurrent delete
-			}
-			return nil, err
+			// Skip unreadable entries (a raced delete, or one damaged
+			// sidecar) rather than failing the whole listing — every
+			// healthy dataset stays visible.
+			continue
 		}
 		out = append(out, m)
 	}

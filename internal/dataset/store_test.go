@@ -187,6 +187,29 @@ func TestStoreRejectsCorruptFile(t *testing.T) {
 	}
 }
 
+func TestStoreListSkipsCorruptSidecar(t *testing.T) {
+	s := testStore(t)
+	healthy, _, err := s.Put(sampleGraph(t, 7), "healthy", "generated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	damaged, _, err := s.Put(sampleGraph(t, 8), "damaged", "generated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(s.Dir(), damaged.ID+metaExt), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// One damaged sidecar must not hide the healthy dataset.
+	list, err := s.List()
+	if err != nil {
+		t.Fatalf("list with corrupt sidecar: %v", err)
+	}
+	if len(list) != 1 || list[0].ID != healthy.ID {
+		t.Errorf("list = %v, want just %s", list, healthy.ID)
+	}
+}
+
 // TestStoreConcurrentUse hammers one directory from many goroutines —
 // imports, loads, lists, deletes — which the -race build checks for
 // cache races and the flock bracket keeps structurally safe.

@@ -44,6 +44,9 @@ func ReadEdgeListLimit(r io.Reader, minNodes, maxNodes int) (*Graph, error) {
 		if maxNodes > 0 && maxID >= maxNodes {
 			return nil, fmt.Errorf("graph: input names node %d, exceeding the cap of %d nodes", maxID, maxNodes)
 		}
+		if hdr := sc.HeaderNodes(); maxNodes > 0 && hdr > maxNodes {
+			return nil, fmt.Errorf("graph: input declares %d nodes, exceeding the cap of %d", hdr, maxNodes)
+		}
 		if u == v {
 			continue // loops dropped, as Builder.AddEdge would
 		}

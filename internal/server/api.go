@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"strconv"
 	"strings"
 
 	"dpkron/internal/accountant"
@@ -93,45 +92,13 @@ func (r *FitRequest) graph() (*graph.Graph, error) {
 		}
 		return graph.FromEdges(n, r.Edges), nil
 	case r.EdgeList != "":
-		// Pre-scan the text for the largest node id before letting
-		// ReadEdgeList allocate the O(n) graph arrays.
-		if maxID, err := maxEdgeListID(r.EdgeList); err != nil {
-			return nil, err
-		} else if maxID >= maxGraphNodes {
-			return nil, fmt.Errorf("edge list names node %d, exceeding the per-request cap of %d nodes", maxID, maxGraphNodes)
-		}
-		return graph.ReadEdgeList(strings.NewReader(r.EdgeList), r.Nodes)
+		// The cap covers node ids on edge lines AND "# Nodes: N" header
+		// comments (which ReadEdgeList honours), both rejected before
+		// the O(n) graph arrays are allocated.
+		return graph.ReadEdgeListLimit(strings.NewReader(r.EdgeList), r.Nodes, maxGraphNodes)
 	default:
 		return nil, fmt.Errorf("edges or edgelist is required")
 	}
-}
-
-// maxEdgeListID returns the largest node id mentioned in SNAP
-// edge-list text ('#' comments skipped), without building anything.
-func maxEdgeListID(text string) (int, error) {
-	maxID := 0
-	for len(text) > 0 {
-		line := text
-		if i := strings.IndexByte(text, '\n'); i >= 0 {
-			line, text = text[:i], text[i+1:]
-		} else {
-			text = ""
-		}
-		line = strings.TrimSpace(line)
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		for _, f := range strings.Fields(line) {
-			id, err := strconv.Atoi(f)
-			if err != nil {
-				return 0, fmt.Errorf("edge list: bad node id %q", f)
-			}
-			if id > maxID {
-				maxID = id
-			}
-		}
-	}
-	return maxID, nil
 }
 
 // InitiatorJSON is a fitted or requested initiator in JSON form.
@@ -492,6 +459,7 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
 		head, _ := body.Peek(2)
 		gzipped = len(head) == 2 && head[0] == 0x1f && head[1] == 0x8b
 	}
+	var lr *io.LimitedReader
 	if gzipped {
 		gz, err := gzip.NewReader(body)
 		if err != nil {
@@ -499,12 +467,17 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
 		}
 		defer gz.Close()
 		// Cap the decompressed stream too: a gzip bomb must not expand
-		// past what an uncompressed request could ship.
-		src = io.LimitReader(gz, maxBodyBytes)
+		// past what an uncompressed request could ship. One extra byte
+		// of headroom distinguishes over-cap from truncated JSON.
+		lr = &io.LimitedReader{R: gz, N: maxBodyBytes + 1}
+		src = lr
 	}
 	dec := json.NewDecoder(src)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		if lr != nil && lr.N <= 0 {
+			return fmt.Errorf("gzipped body decompresses past the %d-byte limit", maxBodyBytes)
+		}
 		return fmt.Errorf("invalid JSON body: %w", err)
 	}
 	return nil

@@ -50,10 +50,16 @@ func (s *Server) handleDatasetImport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
-	g, format, err := dataset.DecodeGraph(body, dataset.DecodeOptions{MaxNodes: maxGraphNodes})
+	// MaxBytesReader bounds the wire bytes; MaxBytes bounds what a
+	// gzipped body may decompress to, so a gzip bomb cannot expand past
+	// what an uncompressed upload could ship.
+	g, format, err := dataset.DecodeGraph(body, dataset.DecodeOptions{
+		MaxNodes: maxGraphNodes,
+		MaxBytes: s.opts.MaxUploadBytes,
+	})
 	if err != nil {
 		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
+		if errors.As(err, &tooBig) || errors.Is(err, dataset.ErrTooLarge) {
 			writeError(w, http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("upload exceeds the %d-byte limit", s.opts.MaxUploadBytes))
 			return

@@ -274,6 +274,9 @@ func TestServerValidationAndLimits(t *testing.T) {
 		"edgelist id over cap": {"/v1/fit", FitRequest{
 			EdgeList: fmt.Sprintf("0 %d\n", maxGraphNodes+5),
 		}},
+		"edgelist header over cap": {"/v1/fit", FitRequest{
+			EdgeList: fmt.Sprintf("# Nodes: %d\n0 1\n", maxGraphNodes+5),
+		}},
 		"generate k over cap": {"/v1/generate", GenerateRequest{
 			A: 0.9, B: 0.5, C: 0.3, K: maxGenerateK + 1,
 		}},
@@ -711,6 +714,80 @@ func TestServerDatasetValidation(t *testing.T) {
 	})
 	if code != http.StatusBadRequest {
 		t.Errorf("dataset_id+edgelist: status %d, want 400 (%v)", code, resp)
+	}
+}
+
+// TestServerDatasetUploadGzipBomb: MaxUploadBytes bounds the
+// decompressed upload, not just the wire bytes, so a tiny gzipped
+// body that expands past the cap is a 413 instead of an OOM.
+func TestServerDatasetUploadGzipBomb(t *testing.T) {
+	st, err := dataset.Open(filepath.Join(t.TempDir(), "datasets"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Options{Workers: 1, MaxJobs: 1, Datasets: st, MaxUploadBytes: 64 << 10})
+
+	// A megabyte of repeated edges gzips to ~1 KiB: under the 64 KiB
+	// wire cap, 16x over it decompressed.
+	bomb := gzipped(t, bytes.Repeat([]byte("0 1\n"), 1<<18))
+	if int64(len(bomb)) >= 64<<10 {
+		t.Fatalf("bomb failed to compress under the wire cap (%d bytes)", len(bomb))
+	}
+	code, resp := upload(t, ts.URL, bomb, nil)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("gzip bomb upload: status %d, want 413 (%v)", code, resp)
+	}
+	if msg, _ := resp["error"].(string); msg == "" {
+		t.Errorf("413 body lacks JSON error: %v", resp)
+	}
+
+	// An upload that fits both caps still lands.
+	if code, resp := upload(t, ts.URL, gzipped(t, []byte(testEdgeList(t, 7))), nil); code != http.StatusCreated {
+		t.Fatalf("in-cap gzip upload: status %d (%v)", code, resp)
+	}
+}
+
+// TestServerGzipJSONBodyOverCap: a gzipped inline body that expands
+// past the 64 MiB JSON cap is named as over-cap, not misreported as
+// invalid JSON.
+func TestServerGzipJSONBodyOverCap(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, MaxJobs: 1})
+
+	// 65 MiB of JSON whitespace (> maxBodyBytes) gzips to ~65 KiB.
+	var buf bytes.Buffer
+	gw := gzip.NewWriter(&buf)
+	pad := bytes.Repeat([]byte(" "), 1<<20)
+	for i := 0; i < 65; i++ {
+		if _, err := gw.Write(pad); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := gw.Write([]byte("{}")); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/fit", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("over-cap gzip body: status %d (%v)", resp.StatusCode, out)
+	}
+	if msg, _ := out["error"].(string); !strings.Contains(msg, "decompresses past") {
+		t.Errorf("over-cap gzip body error %q does not name the limit", msg)
 	}
 }
 
