@@ -21,6 +21,7 @@ package dpkron_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"sync"
 	"testing"
@@ -37,6 +38,8 @@ import (
 	"dpkron/internal/kronfit"
 	"dpkron/internal/kronmom"
 	"dpkron/internal/randx"
+	"dpkron/internal/release"
+	"dpkron/internal/server"
 	"dpkron/internal/skg"
 	"dpkron/internal/smoothsens"
 	"dpkron/internal/stats"
@@ -652,4 +655,54 @@ func BenchmarkDatasetLoad(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkReleaseCache measures what the release cache buys: the
+// K=16-cold leg is a full private fit (Algorithm 1 end to end, plus the
+// memoizing Put a cache-enabled fit performs), the K=16-cached leg is
+// what a repeat of the identical question costs — a cache Get plus the
+// payload decode, zero mechanism work. scripts/bench.sh computes the
+// cached_over_cold speedup into BENCH_6.json's release_cache section;
+// the acceptance bar is cached throughput >= 20x cold at k=16.
+
+func BenchmarkReleaseCache(b *testing.B) {
+	g := featureGraph(b, 16, 1<<19)
+	cache, err := release.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := accountant.DatasetID(g)
+	key := release.KeyFor(ds, 0.5, 0.01, 16, 9, core.PlannedReceipt(0.5, 0.01))
+
+	b.Run("K=16-cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := core.Estimate(g, core.Options{Eps: 0.5, Delta: 0.01, K: 16, Rng: randx.New(9)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := cache.Put(key, server.PrivateFitResult(res, ds)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("K=16-cached", func(b *testing.B) {
+		if _, ok := cache.Get(key); !ok {
+			b.Fatal("cold leg left no entry")
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e, ok := cache.Get(key)
+			if !ok {
+				b.Fatal("cache miss")
+			}
+			var fr server.FitResult
+			if err := json.Unmarshal(e.Payload, &fr); err != nil {
+				b.Fatal(err)
+			}
+			if fr.K != 16 {
+				b.Fatalf("bad payload k=%d", fr.K)
+			}
+		}
+	})
 }

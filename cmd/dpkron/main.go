@@ -7,15 +7,16 @@
 //
 //	dpkron table1  [-eps E] [-delta D] [-seed S]
 //	dpkron figure  -dataset NAME [-expected N] [-csv FILE] [-plot]
-//	dpkron fit     -in FILE|-|ID [-store DIR] [-method private|mom|mle] [-eps E] [-delta D] [-k K]
+//	dpkron fit     -in FILE|-|ID [-store DIR] [-method private|mom|mle] [-eps E] [-delta D] [-k K] [-release-cache DIR]
 //	dpkron generate -a A -b B -c C -k K [-out FILE] [-method exact|balldrop]
 //	dpkron stats   -in FILE|-|ID [-store DIR]
 //	dpkron sweep   [-dataset NAME] [-trials N]
 //	dpkron ssgrowth [-kmin K] [-kmax K]
 //	dpkron sscompare [-kmin K] [-kmax K]
-//	dpkron serve   [-addr HOST:PORT] [-max-jobs N] [-ledger FILE] [-store DIR]
+//	dpkron serve   [-addr HOST:PORT] [-max-jobs N] [-ledger FILE] [-store DIR] [-release-cache DIR]
 //	dpkron budget  <show|set|reset> -ledger FILE [-dataset ID] [-eps E] [-delta D]
 //	dpkron dataset <import|list|info|export|rm> -store DIR [-in FILE|-] [-id ID] [-name S] [-out FILE]
+//	dpkron cache   <list|info|rm> -dir DIR [-id ID]
 //	dpkron datasets
 //
 // Every long-running command accepts the shared pipeline flags:
@@ -29,6 +30,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -53,6 +55,7 @@ import (
 	"dpkron/internal/kronmom"
 	"dpkron/internal/pipeline"
 	"dpkron/internal/randx"
+	"dpkron/internal/release"
 	"dpkron/internal/server"
 	"dpkron/internal/skg"
 	"dpkron/internal/stats"
@@ -191,6 +194,8 @@ func main() {
 		err = cmdBudget(args)
 	case "dataset":
 		err = cmdDataset(args)
+	case "cache":
+		err = cmdCache(args)
 	case "datasets":
 		err = cmdDatasets(args)
 	case "help", "-h", "--help":
@@ -225,6 +230,7 @@ commands:
   serve      run the HTTP/JSON estimation job service
   budget     show, set or reset a privacy-budget ledger
   dataset    import, list, inspect, export or remove stored datasets
+  cache      list, inspect or remove cached private-fit releases
   datasets   list the built-in evaluation datasets
 
 shared flags (all long-running commands):
@@ -327,6 +333,8 @@ func cmdFit(args []string) error {
 	ledgerPath := fs.String("ledger", "", "privacy-budget ledger file; private fits are debited against it")
 	dataset := fs.String("dataset", "", "ledger dataset id (default: content fingerprint of the input graph)")
 	storeDir := fs.String("store", "", "dataset store directory; lets -in name a stored dataset id")
+	relCacheDir := fs.String("release-cache", "",
+		"release cache directory; an identical earlier private fit is re-served from it at zero budget and zero compute, and new fits are memoized")
 	pf := addPipeFlags(fs)
 	if err := parse(fs, args); err != nil {
 		return err
@@ -346,6 +354,29 @@ func cmdFit(args []string) error {
 	rng := randx.New(*seed)
 	switch strings.ToLower(*method) {
 	case "private":
+		// Release cache: the question is keyed before any budget is
+		// debited or noise drawn, so a hit costs nothing — the rng above
+		// is never touched, mirroring the refusal-draws-no-noise
+		// guarantee of the accountant.
+		var rc *release.Cache
+		var relKey release.Key
+		if *relCacheDir != "" {
+			if rc, err = release.Open(*relCacheDir); err != nil {
+				return err
+			}
+			kk := *k
+			if kk <= 0 {
+				kk = kronmom.KForNodes(g.NumNodes())
+			}
+			relKey = release.KeyFor(accountant.DatasetID(g), *eps, *delta, kk, *seed, core.PlannedReceipt(*eps, *delta))
+			if e, ok := rc.Get(relKey); ok {
+				var fr server.FitResult
+				if err := json.Unmarshal(e.Payload, &fr); err == nil && fr.Privacy != nil && fr.Receipt != nil {
+					printCachedFit(e, fr)
+					return nil
+				}
+			}
+		}
 		// Ledger enforcement mirrors the server: debit the full
 		// requested budget up front (Algorithm 1's schedule is
 		// data-independent), run under an accountant capped at exactly
@@ -368,6 +399,14 @@ func cmdFit(args []string) error {
 		res, err := core.EstimateCtx(run, g, core.Options{Eps: *eps, Delta: *delta, K: *k, Rng: rng, Accountant: acc})
 		if err != nil {
 			return err
+		}
+		if rc != nil {
+			// Memoize the released result (the server's payload shape, so
+			// CLI and server fits share entries). Best-effort: a failed
+			// write costs future hits, not this run.
+			if _, err := rc.Put(relKey, server.PrivateFitResult(res, ds)); err != nil {
+				fmt.Fprintf(os.Stderr, "dpkron fit: caching release: %v\n", err)
+			}
 		}
 		fmt.Printf("private initiator: %s  (k=%d, %s)\n", res.Init, res.K, res.Privacy)
 		fmt.Printf("private features:  E=%.1f H=%.1f T=%.1f Delta=%.1f\n",
@@ -590,6 +629,8 @@ func cmdServe(args []string) error {
 	maxHistory := fs.Int("max-history", 256, "finished jobs retained for polling before eviction")
 	ledgerPath := fs.String("ledger", "", "privacy-budget ledger file; enables per-dataset enforcement of private fits")
 	storeDir := fs.String("store", "", "dataset store directory; enables /v1/datasets and fit-by-dataset-id")
+	releaseCache := fs.String("release-cache", "",
+		"release cache directory; identical private fits coalesce and repeats are re-served at zero budget")
 	pf := addPipeFlags(fs) // -workers, -timeout (server lifetime), -progress (job event log)
 	if err := parse(fs, args); err != nil {
 		return err
@@ -610,6 +651,14 @@ func cmdServe(args []string) error {
 		}
 		opts.Datasets = st
 		fmt.Fprintf(os.Stderr, "dpkron serve: serving datasets from %s\n", st.Dir())
+	}
+	if *releaseCache != "" {
+		rc, err := release.Open(*releaseCache)
+		if err != nil {
+			return err
+		}
+		opts.Releases = rc
+		fmt.Fprintf(os.Stderr, "dpkron serve: caching private-fit releases in %s\n", rc.Dir())
 	}
 	if *pf.progress {
 		// Event streams are serialized per job but concurrent across

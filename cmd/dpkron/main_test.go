@@ -590,3 +590,106 @@ func TestCLIServeWithStore(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 	}
 }
+
+// TestCLICacheWorkflow drives the release cache end to end: a cold
+// private fit memoizes its release, the identical fit is re-served
+// without touching the ledger, `cache list|info|rm` manage the entries,
+// and removal restores the recompute-and-debit behavior.
+func TestCLICacheWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	edge := filepath.Join(dir, "g.txt")
+	ledger := filepath.Join(dir, "ledger.json")
+	cache := filepath.Join(dir, "cache")
+	run(t, bin, "generate", "-a", "0.95", "-b", "0.5", "-c", "0.3", "-k", "8", "-seed", "2", "-out", edge)
+
+	// Budget for exactly one (0.2, 0.01) fit.
+	run(t, bin, "budget", "set", "-ledger", ledger, "-dataset", "mygraph", "-eps", "0.2", "-delta", "0.01")
+
+	// Cold fit: debits the ledger and stores the release.
+	fitArgs := []string{"fit", "-in", edge, "-ledger", ledger, "-dataset", "mygraph",
+		"-eps", "0.2", "-delta", "0.01", "-seed", "5", "-release-cache", cache}
+	cold := run(t, bin, fitArgs...)
+	if !strings.Contains(cold, "private initiator:") || strings.Contains(cold, "cached") {
+		t.Fatalf("cold fit output: %s", cold)
+	}
+
+	// The identical question again: served from cache at zero budget,
+	// even though the ledger is now exhausted. The initiator line is
+	// byte-identical to the cold fit's.
+	hit := run(t, bin, fitArgs...)
+	if !strings.Contains(hit, "(cached; no budget spent)") || !strings.Contains(hit, "release: rel-") {
+		t.Fatalf("cache hit output lacks cached marker:\n%s", hit)
+	}
+	initLine := func(out string) string {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "private initiator:") {
+				return line
+			}
+		}
+		t.Fatalf("no initiator line in:\n%s", out)
+		return ""
+	}
+	if initLine(cold) != initLine(hit) {
+		t.Fatalf("cached initiator differs:\ncold: %s\nhit:  %s", initLine(cold), initLine(hit))
+	}
+	out := run(t, bin, "budget", "show", "-ledger", ledger, "-dataset", "mygraph")
+	if !strings.Contains(out, "receipts 1") {
+		t.Fatalf("cache hit debited the ledger:\n%s", out)
+	}
+
+	// A different question (new seed) is a miss and needs budget.
+	code, out := exitCode(t, bin, "", append(fitArgs[:len(fitArgs):len(fitArgs)], "-seed", "6")...)
+	if code != 1 || !strings.Contains(out, "budget exhausted") {
+		t.Fatalf("different-seed fit: exit %d\n%s", code, out)
+	}
+
+	// cache list names the entry; grab its fingerprint.
+	out = run(t, bin, "cache", "list", "-dir", cache)
+	if !strings.Contains(out, "rel-") || !strings.Contains(out, "eps=0.2") {
+		t.Fatalf("cache list output: %s", out)
+	}
+	rel := strings.Fields(out)[0]
+	if !strings.HasPrefix(rel, "rel-") {
+		t.Fatalf("cache list first field %q is not a fingerprint:\n%s", rel, out)
+	}
+
+	out = run(t, bin, "cache", "info", "-dir", cache, "-id", rel)
+	for _, want := range []string{"fingerprint: " + rel, "eps:         0.2", "seed:        5", "payload:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("cache info missing %q:\n%s", want, out)
+		}
+	}
+
+	// rm forgets the release; the identical fit is a miss again and is
+	// refused by the exhausted ledger.
+	out = run(t, bin, "cache", "rm", "-dir", cache, "-id", rel)
+	if !strings.Contains(out, "removed "+rel) {
+		t.Fatalf("cache rm output: %s", out)
+	}
+	code, out = exitCode(t, bin, "", fitArgs...)
+	if code != 1 || !strings.Contains(out, "budget exhausted") {
+		t.Fatalf("post-rm fit: exit %d\n%s", code, out)
+	}
+
+	// Usage errors exit 2.
+	for _, args := range [][]string{
+		{"cache"},                                  // missing action
+		{"cache", "frobnicate", "-dir", cache},     // unknown action
+		{"cache", "list"},                          // missing -dir
+		{"cache", "info", "-dir", cache},           // missing -id
+		{"cache", "rm", "-dir", cache, "-id", rel}, // already removed -> exit 1
+	} {
+		code, out := exitCode(t, bin, "", args...)
+		want := 2
+		if len(args) > 1 && args[1] == "rm" {
+			want = 1
+		}
+		if code != want {
+			t.Fatalf("dpkron %v: exit %d, want %d\n%s", args, code, want, out)
+		}
+	}
+}

@@ -46,6 +46,22 @@
 // DIR -in ds-...` on the command line, "dataset_id" in server fit
 // requests. See ExampleOpenStore.
 //
+// # Release cache
+//
+// Differential privacy is closed under post-processing: once a release
+// has been published, re-serving those exact bytes reveals nothing
+// further, so only *distinct* questions should cost budget. A
+// persistent ReleaseCache (OpenReleaseCache) memoizes each private fit
+// under a canonical fingerprint of its question — dataset id, (ε, δ),
+// Kronecker power, seed and the planned mechanism schedule — and
+// answers repeats from storage with the original receipt, at zero
+// budget and zero noise draws. Entries are checksummed; a damaged file
+// is evicted and recomputed, never served. The server coalesces
+// concurrent identical fits through a single-flight group (one job
+// runs, everyone gets its result, the ledger is debited once), and the
+// CLI takes the same directory via `fit -release-cache` and manages it
+// with `dpkron cache list|info|rm`. See ExampleOpenReleaseCache.
+//
 // The experiment harness that regenerates the paper's Table 1 and
 // Figures 1–4 lives in cmd/dpkron and the repository-root benchmarks.
 //

@@ -16,6 +16,7 @@ import (
 	"dpkron/internal/linalg"
 	"dpkron/internal/pipeline"
 	"dpkron/internal/randx"
+	"dpkron/internal/release"
 	"dpkron/internal/skg"
 	"dpkron/internal/stats"
 )
@@ -61,6 +62,17 @@ type (
 	// DatasetMeta is one stored dataset's metadata (id, name, size,
 	// source format, import time).
 	DatasetMeta = dataset.Meta
+	// ReleaseCache is a persistent content-addressed cache of released
+	// private fits: once a question (dataset, ε, δ, K, seed, mechanism
+	// schedule) has been answered, re-serving the stored release is
+	// pure post-processing and costs zero privacy budget.
+	ReleaseCache = release.Cache
+	// ReleaseKey canonically identifies one private-fit question; its
+	// Fingerprint is the cache's content address.
+	ReleaseKey = release.Key
+	// ReleaseEntry is one cached release: fingerprint, key, integrity
+	// checksum and the stored result payload.
+	ReleaseEntry = release.Entry
 	// PrivateOptions configures the paper's Algorithm 1.
 	PrivateOptions = core.Options
 	// PrivateResult is the (ε, δ)-DP estimation outcome.
@@ -110,6 +122,20 @@ func DatasetID(g *Graph) string { return accountant.DatasetID(g) }
 // Algorithm 1's charge schedule is data-independent, so a ledger can
 // be debited before the run is admitted.
 func PlannedReceipt(eps, delta float64) Receipt { return core.PlannedReceipt(eps, delta) }
+
+// OpenReleaseCache opens (or initializes) the persistent release cache
+// rooted at dir. Entries are integrity-checked on every read; damaged
+// files are reported as misses (and evicted), never served. See
+// ExampleOpenReleaseCache.
+func OpenReleaseCache(dir string) (*ReleaseCache, error) { return release.Open(dir) }
+
+// ReleaseKeyFor builds the canonical cache key of the private-fit
+// question (datasetID, eps, delta, k, seed). The mechanism schedule is
+// derived from PlannedReceipt, so the key — like the ledger debit — is
+// fixed before any data is touched.
+func ReleaseKeyFor(datasetID string, eps, delta float64, k int, seed uint64) ReleaseKey {
+	return release.KeyFor(datasetID, eps, delta, k, seed, core.PlannedReceipt(eps, delta))
+}
 
 // OpenStore opens (or initializes) the persistent dataset store rooted
 // at dir. Stored graphs load bit-identically to parsing their original

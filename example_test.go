@@ -270,3 +270,60 @@ func mustLoad(s *dpkron.DatasetStore, id string) *dpkron.Graph {
 	}
 	return g
 }
+
+// ExampleOpenReleaseCache memoizes a private release: the first fit of
+// a question (dataset, ε, δ, K, seed) computes and debits the ledger;
+// re-asking the identical question is answered from the cache — pure
+// post-processing of an already-released value, so it costs zero
+// budget even though the ledger is exhausted.
+func ExampleOpenReleaseCache() {
+	dir, err := os.MkdirTemp("", "dpkron-releases")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	model, _ := dpkron.NewModel(dpkron.Initiator{A: 0.99, B: 0.55, C: 0.35}, 9)
+	sensitive := model.Sample(dpkron.NewRand(1))
+
+	led, err := dpkron.OpenLedger(filepath.Join(dir, "ledger.json"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := dpkron.DatasetID(sensitive)
+	// Allowance for exactly one (0.25, 0.01) fit.
+	if err := led.SetBudget(ds, dpkron.Budget{Eps: 0.25, Delta: 0.01}); err != nil {
+		log.Fatal(err)
+	}
+	cache, err := dpkron.OpenReleaseCache(filepath.Join(dir, "cache"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	key := dpkron.ReleaseKeyFor(ds, 0.25, 0.01, 9, 7)
+	for i := 1; i <= 2; i++ {
+		if _, ok := cache.Get(key); ok {
+			fmt.Printf("fit %d: served from cache (no budget spent)\n", i)
+			continue
+		}
+		// Miss: debit first, then run the mechanisms and memoize.
+		if err := led.Spend(ds, dpkron.PlannedReceipt(0.25, 0.01)); err != nil {
+			log.Fatal(err)
+		}
+		res, err := dpkron.EstimatePrivate(sensitive, dpkron.PrivateOptions{
+			Eps: 0.25, Delta: 0.01, K: 9, Rng: dpkron.NewRand(7),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := cache.Put(key, res); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fit %d: computed, spent %s\n", i, res.Privacy)
+	}
+	fmt.Println("remaining:", led.Remaining(ds))
+	// Output:
+	// fit 1: computed, spent (0.25, 0.01)-DP
+	// fit 2: served from cache (no budget spent)
+	// remaining: (0, 0)-DP
+}

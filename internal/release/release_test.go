@@ -1,0 +1,364 @@
+package release
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dpkron/internal/core"
+)
+
+// testKey returns a Key built the way the server builds one: the
+// planned (data-independent) charge schedule supplies policy and
+// mechanism config.
+func testKey(t *testing.T) Key {
+	t.Helper()
+	return KeyFor("ds-0123456789abcdef", 0.5, 0.01, 10, 9, core.PlannedReceipt(0.5, 0.01))
+}
+
+type testPayload struct {
+	Initiator []float64 `json:"initiator"`
+	Note      string    `json:"note,omitempty"`
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := Open(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(t)
+	if _, ok := c.Get(key); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	want := testPayload{Initiator: []float64{0.99, 0.55, 0.35}}
+	e, err := c.Put(key, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Fingerprint != key.Fingerprint() || !validID(e.Fingerprint) {
+		t.Fatalf("entry fingerprint %q", e.Fingerprint)
+	}
+	got, ok := c.Get(key)
+	if !ok {
+		t.Fatal("stored entry missed")
+	}
+	var back testPayload
+	if err := json.Unmarshal(got.Payload, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, want) {
+		t.Fatalf("payload round trip = %+v, want %+v", back, want)
+	}
+
+	// A second handle on the same directory (another process) sees the
+	// entry, fully re-validated from disk.
+	c2, err := Open(c.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(key); !ok {
+		t.Fatal("fresh handle missed a persisted entry")
+	}
+
+	// Info and List agree; List strips payloads.
+	info, err := c.Info(e.Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(info.Payload) != string(got.Payload) {
+		t.Fatal("Info payload differs from Get payload")
+	}
+	list, err := c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].Fingerprint != e.Fingerprint || list[0].Payload != nil {
+		t.Fatalf("List = %+v", list)
+	}
+
+	// Delete removes it everywhere — including from the other handle's
+	// LRU, via the stat-before-serve re-check.
+	if err := c.Delete(e.Fingerprint); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("deleted entry served")
+	}
+	if _, ok := c2.Get(key); ok {
+		t.Fatal("deleted entry served from a stale LRU")
+	}
+	if err := c.Delete(e.Fingerprint); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete = %v, want ErrNotFound", err)
+	}
+}
+
+func TestCachePutOverwrites(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(t)
+	if _, err := c.Put(key, testPayload{Note: "first"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put(key, testPayload{Note: "second"}); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := c.Get(key)
+	if !ok {
+		t.Fatal("miss after overwrite")
+	}
+	var p testPayload
+	if err := json.Unmarshal(e.Payload, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Note != "second" {
+		t.Fatalf("payload note = %q, want the overwrite", p.Note)
+	}
+}
+
+// TestKeyEveryComponentChangesFingerprint is the negative-key property
+// test: fits differing in any single key component must never share a
+// cache entry. It is table-driven over the Key struct's fields via
+// reflection, so adding a field to Key without extending both the
+// fingerprint and this table turns into a test failure instead of a
+// silent cache collision.
+func TestKeyEveryComponentChangesFingerprint(t *testing.T) {
+	base := testKey(t)
+	mutations := map[string]Key{
+		"DatasetID":  func(k Key) Key { k.DatasetID = "ds-fedcba9876543210"; return k }(base),
+		"Eps":        func(k Key) Key { k.Eps = 0.50000000000000011; return k }(base),
+		"Delta":      func(k Key) Key { k.Delta = 0.02; return k }(base),
+		"K":          func(k Key) Key { k.K = 11; return k }(base),
+		"Seed":       func(k Key) Key { k.Seed = 10; return k }(base),
+		"Policy":     func(k Key) Key { k.Policy = "parallel"; return k }(base),
+		"Mechanisms": func(k Key) Key { k.Mechanisms = k.Mechanisms + ";extra"; return k }(base),
+	}
+	rt := reflect.TypeOf(Key{})
+	for i := 0; i < rt.NumField(); i++ {
+		if _, ok := mutations[rt.Field(i).Name]; !ok {
+			t.Errorf("Key field %s has no mutation case: extend Fingerprint and this table", rt.Field(i).Name)
+		}
+	}
+	if len(mutations) != rt.NumField() {
+		t.Errorf("mutation table has %d cases for %d Key fields", len(mutations), rt.NumField())
+	}
+	seen := map[string]string{base.Fingerprint(): "base"}
+	for field, mutated := range mutations {
+		fp := mutated.Fingerprint()
+		if !validID(fp) {
+			t.Errorf("%s: fingerprint %q is malformed", field, fp)
+		}
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("mutating %s collides with %s (fingerprint %s)", field, prev, fp)
+			continue
+		}
+		seen[fp] = field
+	}
+}
+
+// TestKeyForDistinguishesMechanismConfig: two budgets with the same
+// totals but different planned schedules (different ε split or β)
+// must key differently even before any explicit field is varied.
+func TestKeyForDistinguishesMechanismConfig(t *testing.T) {
+	a := KeyFor("ds-0123456789abcdef", 0.5, 0.01, 10, 9, core.PlannedReceipt(0.5, 0.01))
+	b := KeyFor("ds-0123456789abcdef", 0.5, 0.02, 10, 9, core.PlannedReceipt(0.5, 0.02))
+	if a.Mechanisms == b.Mechanisms {
+		t.Fatal("different δ produced identical mechanism config strings")
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different planned schedules share a fingerprint")
+	}
+}
+
+// corruptions are the hostile on-disk states a cache must detect and
+// refuse to serve: each mutilates a valid persisted entry in place.
+var corruptions = map[string]func(t *testing.T, path string){
+	"truncated": func(t *testing.T, path string) {
+		data := readEntryFile(t, path)
+		writeEntryFile(t, path, data[:len(data)/2])
+	},
+	"payload-bit-flip": func(t *testing.T, path string) {
+		data := readEntryFile(t, path)
+		i := strings.Index(string(data), `"payload"`)
+		if i < 0 {
+			t.Fatal("no payload field in entry file")
+		}
+		// Flip a digit inside the payload region without breaking JSON.
+		j := strings.IndexAny(string(data[i:]), "0123456789")
+		if j < 0 {
+			t.Fatal("no digit to flip in payload")
+		}
+		data[i+j] = '0' + ('9' - data[i+j])
+		writeEntryFile(t, path, data)
+	},
+	"key-field-swap": func(t *testing.T, path string) {
+		// Rewrite the key's seed: the checksum still matches the payload,
+		// but the key no longer fingerprints to the filename — serving it
+		// would answer the wrong question.
+		var e map[string]any
+		if err := json.Unmarshal(readEntryFile(t, path), &e); err != nil {
+			t.Fatal(err)
+		}
+		key := e["key"].(map[string]any)
+		key["seed"] = key["seed"].(float64) + 1
+		data, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		writeEntryFile(t, path, data)
+	},
+	"garbage": func(t *testing.T, path string) {
+		writeEntryFile(t, path, []byte("not json at all"))
+	},
+	"empty": func(t *testing.T, path string) {
+		writeEntryFile(t, path, nil)
+	},
+}
+
+func readEntryFile(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func writeEntryFile(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheHostileEntries: every corruption is detected, reported as a
+// miss (never served, never an error), and the damaged file evicted so
+// the slot is clean for the recompute's Put.
+func TestCacheHostileEntries(t *testing.T) {
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			c, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := testKey(t)
+			e, err := c.Put(key, testPayload{Initiator: []float64{1, 2, 3}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := c.entryPath(e.Fingerprint)
+			corrupt(t, path)
+			// A fresh handle (no LRU copy) must detect the damage.
+			fresh, err := Open(c.Dir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := fresh.Get(key); ok {
+				t.Fatal("corrupt entry served")
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatal("corrupt entry not evicted")
+			}
+			// The slot is reusable: a recompute stores and serves again.
+			if _, err := fresh.Put(key, testPayload{Initiator: []float64{1, 2, 3}}); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := fresh.Get(key); !ok {
+				t.Fatal("recomputed entry missed")
+			}
+		})
+	}
+}
+
+// TestCacheInfoReportsCorruption: Info surfaces ErrCorrupt (without
+// evicting) so operators can inspect before `cache rm`.
+func TestCacheInfoReportsCorruption(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := c.Put(testKey(t), testPayload{Note: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeEntryFile(t, c.entryPath(e.Fingerprint), []byte("{"))
+	fresh, err := Open(c.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.Info(e.Fingerprint); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Info on corrupt entry = %v, want ErrCorrupt", err)
+	}
+	if _, err := os.Stat(c.entryPath(e.Fingerprint)); err != nil {
+		t.Fatal("Info evicted the entry; it should only inspect")
+	}
+	// List skips it instead of failing.
+	list, err := fresh.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 0 {
+		t.Fatalf("List served %d corrupt entries", len(list))
+	}
+}
+
+// TestCachePathTraversalRejected: hostile ids never touch the
+// filesystem outside the cache directory, matching the dataset
+// store's guard.
+func TestCachePathTraversalRejected(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{
+		"../../../etc/passwd",
+		"rel-../../etc/passwd",
+		"rel-0123456789ABCDEF", // uppercase hex is not canonical
+		"rel-0123",
+		"ds-0123456789abcdef",
+		"",
+		"rel-0123456789abcde/",
+	} {
+		if _, err := c.Info(id); !errors.Is(err, ErrNotFound) {
+			t.Errorf("Info(%q) = %v, want ErrNotFound", id, err)
+		}
+		if err := c.Delete(id); !errors.Is(err, ErrNotFound) {
+			t.Errorf("Delete(%q) = %v, want ErrNotFound", id, err)
+		}
+	}
+}
+
+// TestCacheLRUBound: the in-memory layer stays bounded while every
+// entry remains servable from disk.
+func TestCacheLRUBound(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := testKey(t)
+	keys := make([]Key, lruSize+8)
+	for i := range keys {
+		k := base
+		k.Seed = uint64(i + 1)
+		keys[i] = k
+		if _, err := c.Put(k, testPayload{Note: "n"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.mu.Lock()
+	held, ordered := len(c.lru), len(c.order)
+	c.mu.Unlock()
+	if held != lruSize || ordered != lruSize {
+		t.Fatalf("LRU holds %d/%d entries, want %d", held, ordered, lruSize)
+	}
+	for _, k := range keys {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("seed %d evicted from disk by LRU pressure", k.Seed)
+		}
+	}
+}

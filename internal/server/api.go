@@ -19,6 +19,7 @@ import (
 	"dpkron/internal/kronmom"
 	"dpkron/internal/pipeline"
 	"dpkron/internal/randx"
+	"dpkron/internal/release"
 	"dpkron/internal/skg"
 	"dpkron/internal/stats"
 )
@@ -185,6 +186,14 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Release-cache keying: a private fit's question is identified by
+	// the content fingerprint of (dataset bytes, ε, δ, policy,
+	// mechanism config, seed). The key is built before the graph is
+	// decoded when the request names a stored dataset, so a repeated
+	// question skips even the graph load.
+	useCache := s.opts.Releases != nil && method == "private"
+	var relKey release.Key
+	var haveKey bool
 	var g *graph.Graph
 	var err error
 	if req.DatasetID != "" && len(req.Edges) == 0 && req.EdgeList == "" {
@@ -194,6 +203,27 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		st := s.requireStore(w)
 		if st == nil {
 			return
+		}
+		if useCache {
+			// The inferred Kronecker power is part of the question;
+			// resolve it from the stored metadata (no graph decode). A
+			// failed lookup just falls through to the post-load keying.
+			k := req.K
+			if k <= 0 {
+				if meta, err := st.Meta(req.DatasetID); err == nil {
+					k = kronmom.KForNodes(meta.Nodes)
+				}
+			}
+			if k > 0 {
+				relKey = release.KeyFor(req.DatasetID, req.Eps, req.Delta, k, req.Seed, core.PlannedReceipt(req.Eps, req.Delta))
+				haveKey = true
+				s.flightMu.Lock()
+				handled := s.serveReleaseLocked(w, relKey)
+				s.flightMu.Unlock()
+				if handled {
+					return
+				}
+			}
 		}
 		g, err = st.Load(req.DatasetID)
 		if err != nil {
@@ -206,6 +236,16 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
+	}
+	if useCache && !haveKey {
+		// Inline graphs key by their content fingerprint — the same id
+		// the dataset store would assign — so the identical bytes hit the
+		// identical entry no matter how they arrived.
+		k := req.K
+		if k <= 0 {
+			k = kronmom.KForNodes(g.NumNodes())
+		}
+		relKey = release.KeyFor(accountant.DatasetID(g), req.Eps, req.Delta, k, req.Seed, core.PlannedReceipt(req.Eps, req.Delta))
 	}
 	// Ledger enforcement: debit the full requested budget at admission
 	// (Algorithm 1's charge schedule is data-independent, so the spend
@@ -233,7 +273,7 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 			return err
 		}
 	}
-	j, status, msg := s.submit("fit/"+method, admit, func(run *pipeline.Run) (any, error) {
+	fn := func(run *pipeline.Run) (any, error) {
 		rng := randx.New(req.Seed)
 		switch method {
 		case "mom":
@@ -269,16 +309,13 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return nil, err
 			}
-			out := FitResult{
-				Method:    method,
-				Initiator: InitiatorJSON{res.Init.A, res.Init.B, res.Init.C},
-				K:         res.K,
-				Objective: &res.Moment.Objective,
-				Features:  featuresJSON(res.Features),
-				Privacy:   &res.Privacy,
-				Spent:     &res.Receipt.Total,
-				Receipt:   &res.Receipt,
-				Dataset:   dataset,
+			out := PrivateFitResult(res, dataset)
+			if useCache {
+				// Memoize the release itself — before Remaining is filled,
+				// which reports ledger state at this moment, not part of
+				// the answer. A failed Put costs future hits, not this
+				// run's correctness.
+				_, _ = s.opts.Releases.Put(relKey, out)
 			}
 			if s.opts.Ledger != nil && dataset != "" {
 				rem := s.opts.Ledger.Remaining(dataset)
@@ -286,7 +323,38 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 			}
 			return out, nil
 		}
-	})
+	}
+	var j *job
+	var status int
+	var msg string
+	if useCache {
+		// Single-flight admission: under flightMu, re-check the cache
+		// and the in-flight map, then submit. The lock makes
+		// miss-then-debit atomic — of N concurrent identical requests,
+		// exactly one passes the ledger-debit critical section and runs;
+		// the rest join its job or are served the cached result.
+		fp := relKey.Fingerprint()
+		inner := fn
+		fn = func(run *pipeline.Run) (any, error) {
+			// Drop the flight registration on every exit; on success the
+			// Put above has already happened, so the question is always
+			// answerable by either the flight map or the cache.
+			defer s.forgetFlight(fp)
+			return inner(run)
+		}
+		s.flightMu.Lock()
+		if s.serveReleaseLocked(w, relKey) {
+			s.flightMu.Unlock()
+			return
+		}
+		j, status, msg = s.submit("fit/"+method, admit, fn)
+		if j != nil {
+			s.flights[fp] = j
+		}
+		s.flightMu.Unlock()
+	} else {
+		j, status, msg = s.submit("fit/"+method, admit, fn)
+	}
 	if j == nil {
 		if refused != nil {
 			// Budget refusals answer with the machine-readable remaining

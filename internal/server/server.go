@@ -16,6 +16,7 @@
 //	POST   /v1/datasets         import a graph into the dataset store
 //	GET    /v1/datasets[/{id}]  list stored datasets / one's metadata
 //	DELETE /v1/datasets/{id}    remove a stored dataset
+//	GET    /v1/releases[/{id}]  list cached releases / one with payload
 //	GET    /healthz             liveness probe
 //
 // With Options.Datasets configured, fit requests may name a stored
@@ -31,6 +32,20 @@
 // requested (ε, δ) at admission, exhausted budgets are rejected with
 // 429 plus the remaining budget, and finished fit results carry the
 // itemized spend receipt.
+//
+// With Options.Releases configured, private fits are memoized in a
+// persistent release cache keyed by the question's content fingerprint
+// (dataset bytes, ε, δ, composition policy, mechanism config, seed).
+// Post-processing is free under differential privacy, so a repeated
+// question is answered 200 from the cache — the stored release with
+// its original receipt plus a "cached": true marker — at zero ledger
+// debit, zero noise draws, and zero job slots. Admission is
+// cache-aware: only a genuine miss enters the ledger-debit critical
+// section, and concurrent identical submissions coalesce through a
+// single-flight group so exactly one job runs (and exactly one debit
+// lands) no matter how many clients ask at once; the coalesced
+// requests all receive that one job, hence the same receipt-bearing
+// result. Cancelling a coalesced job cancels it for every waiter.
 //
 // Concurrency model: the process-wide worker budget is split evenly
 // across the MaxJobs job slots, so a fully loaded server never runs
@@ -52,6 +67,7 @@ import (
 	"dpkron/internal/dataset"
 	"dpkron/internal/parallel"
 	"dpkron/internal/pipeline"
+	"dpkron/internal/release"
 )
 
 // Options configures a Server.
@@ -88,6 +104,11 @@ type Options struct {
 	// MaxUploadBytes bounds POST /v1/datasets bodies (default 1 GiB);
 	// inline JSON job bodies keep their own 64 MiB cap.
 	MaxUploadBytes int64
+	// Releases, when set, memoizes private fit results in a persistent
+	// release cache and coalesces concurrent identical fits into one
+	// job: a repeated question is served from the cache at zero budget
+	// and zero compute (see the package comment).
+	Releases *release.Cache
 }
 
 func (o *Options) fill() {
@@ -122,6 +143,16 @@ type Server struct {
 	next   int
 	active int // admitted and not yet finalized (queued + running)
 
+	// flights single-flights private fits by release fingerprint: while
+	// a fit for a question is queued or running, identical submissions
+	// join its job instead of debiting and running again. Entries are
+	// dropped after the result is in the cache (or the run failed), so
+	// a successful question is always answerable by flight or cache.
+	// Lock order: flightMu before mu (serveReleaseLocked/submit);
+	// never the reverse.
+	flightMu sync.Mutex
+	flights  map[string]*job
+
 	mux *http.ServeMux
 }
 
@@ -130,11 +161,12 @@ func New(opts Options) *Server {
 	opts.fill()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		opts:   opts,
-		ctx:    ctx,
-		cancel: cancel,
-		slots:  make(chan struct{}, opts.MaxJobs),
-		jobs:   map[string]*job{},
+		opts:    opts,
+		ctx:     ctx,
+		cancel:  cancel,
+		slots:   make(chan struct{}, opts.MaxJobs),
+		jobs:    map[string]*job{},
+		flights: map[string]*job{},
 	}
 	// Split the budget across the job slots: a saturated server stays
 	// within Options.Workers total.
@@ -153,6 +185,8 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
 	s.mux.HandleFunc("GET /v1/datasets/{id}", s.handleDatasetMeta)
 	s.mux.HandleFunc("DELETE /v1/datasets/{id}", s.handleDatasetDelete)
+	s.mux.HandleFunc("GET /v1/releases", s.handleReleaseList)
+	s.mux.HandleFunc("GET /v1/releases/{id}", s.handleRelease)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -363,6 +397,12 @@ func (s *Server) finalize(j *job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.active--
+	s.evictHistoryLocked()
+}
+
+// evictHistoryLocked drops the oldest terminal jobs beyond
+// Options.MaxHistory; callers hold s.mu.
+func (s *Server) evictHistoryLocked() {
 	finished := len(s.order) - s.active
 	if finished <= s.opts.MaxHistory {
 		return
@@ -378,6 +418,27 @@ func (s *Server) finalize(j *job) {
 		kept = append(kept, id)
 	}
 	s.order = kept
+}
+
+// completedJob registers a job that is already done — a fit answered
+// from the release cache. It never held a queue slot or admission
+// debit, so only the history bound applies; registering it keeps the
+// jobs API uniform (the hit is pollable and listed like any fit).
+func (s *Server) completedJob(kind string, result any) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next++
+	j := &job{
+		id:     fmt.Sprintf("job-%d", s.next),
+		kind:   kind,
+		cancel: func() {},
+		status: StatusDone,
+		result: result,
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.evictHistoryLocked()
+	return j
 }
 
 func (s *Server) lookup(id string) *job {

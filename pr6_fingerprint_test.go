@@ -1,0 +1,237 @@
+package dpkron_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dpkron/internal/accountant"
+	"dpkron/internal/core"
+	"dpkron/internal/dp"
+	"dpkron/internal/randx"
+	"dpkron/internal/release"
+	"dpkron/internal/server"
+)
+
+// PR 6 adds the release cache: private fits are memoized under a
+// canonical fingerprint of the question and repeats are served from
+// storage. Caching is pure post-processing, so it must be invisible in
+// the released bits — a cold fit with the cache enabled releases
+// exactly what PR 5 released (the PR 2 pins), and a cache hit returns
+// those same bytes back, modulo the explicit cached/release markers.
+// These tests pin both directions through the real HTTP server, plus
+// the PR 4-style guarantee that serving a hit consumes no randomness.
+
+// pr6FitBody is the fit request that reproduces the PR 2 pinned
+// release: fpGraphK10 as edge-list text with the historical seeds.
+func pr6FitBody(t *testing.T) []byte {
+	t.Helper()
+	var text bytes.Buffer
+	if err := fpGraphK10(t).WriteEdgeList(&text); err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(map[string]any{
+		"method": "private", "eps": 0.5, "delta": 0.01, "k": 10, "seed": 9,
+		"edgelist": text.String(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func pr6Post(t *testing.T, base string, body []byte) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/fit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var view map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, view
+}
+
+// pr6Await polls a job to completion and returns its result object.
+func pr6Await(t *testing.T, base, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var job map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		switch job["status"] {
+		case "done":
+			return job["result"].(map[string]any)
+		case "failed", "cancelled":
+			t.Fatalf("job %s ended %v: %v", id, job["status"], job)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck", id)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// pr6CheckPins hashes the released initiator and features out of a fit
+// result JSON object against the PR 2 constants. Go's JSON float
+// encoding is shortest-round-trip, so decoding recovers the exact
+// float64 bits the server released.
+func pr6CheckPins(t *testing.T, label string, res map[string]any) {
+	t.Helper()
+	const (
+		wantInit  = uint64(0x1c23d17293445957)
+		wantFeats = uint64(0x297d918e6156a3fb)
+	)
+	init := res["initiator"].(map[string]any)
+	if got := fpHashFloats(init["a"].(float64), init["b"].(float64), init["c"].(float64)); got != wantInit {
+		t.Errorf("%s init fingerprint = %#x, want %#x (PR 2)", label, got, wantInit)
+	}
+	f := res["features"].(map[string]any)
+	if got := fpHashFloats(f["e"].(float64), f["h"].(float64), f["t"].(float64), f["delta"].(float64)); got != wantFeats {
+		t.Errorf("%s features fingerprint = %#x, want %#x (PR 2)", label, got, wantFeats)
+	}
+}
+
+// pr6Strip drops the cache markers (and the ledger-dependent remaining
+// field) and re-marshals canonically for byte comparison.
+func pr6Strip(t *testing.T, res map[string]any) []byte {
+	t.Helper()
+	clean := make(map[string]any, len(res))
+	for k, v := range res {
+		if k == "cached" || k == "release" || k == "remaining" {
+			continue
+		}
+		clean[k] = v
+	}
+	b, err := json.Marshal(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestFingerprintCachedFitRelease(t *testing.T) {
+	cache, err := release.Open(filepath.Join(t.TempDir(), "rel"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Options{Workers: 4, MaxJobs: 2, Releases: cache})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	body := pr6FitBody(t)
+
+	// Cold fit with the cache enabled: byte-identical to PR 5 — the
+	// memoization must not perturb the released bits.
+	code, sub := pr6Post(t, ts.URL, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("cold fit: %d %v", code, sub)
+	}
+	cold := pr6Await(t, ts.URL, sub["id"].(string))
+	pr6CheckPins(t, "cold", cold)
+	if _, ok := cold["cached"]; ok {
+		t.Fatalf("cold fit carries a cached marker: %v", cold)
+	}
+
+	// The identical question again: answered synchronously from the
+	// cache, pinned bits intact, payload byte-identical to the cold
+	// release modulo the explicit markers.
+	code, view := pr6Post(t, ts.URL, body)
+	if code != http.StatusOK {
+		t.Fatalf("cache hit: %d %v", code, view)
+	}
+	hit, ok := view["result"].(map[string]any)
+	if !ok {
+		t.Fatalf("cache hit view has no result: %v", view)
+	}
+	if hit["cached"] != true {
+		t.Fatalf("hit result not marked cached: %v", hit)
+	}
+	pr6CheckPins(t, "hit", hit)
+	if c, h := pr6Strip(t, cold), pr6Strip(t, hit); !bytes.Equal(c, h) {
+		t.Errorf("hit differs from cold release:\ncold: %s\nhit:  %s", c, h)
+	}
+
+	// The stored entry round-trips the release bytes through disk: a
+	// fresh cache handle (empty LRU, forced disk read) must serve a
+	// payload whose decoded bits still pin.
+	fresh, err := release.Open(cache.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := fpGraphK10(t)
+	key := release.KeyFor(accountant.DatasetID(g), 0.5, 0.01, 10, 9, core.PlannedReceipt(0.5, 0.01))
+	e, ok := fresh.Get(key)
+	if !ok {
+		t.Fatal("release not on disk under the canonical key")
+	}
+	var stored map[string]any
+	if err := json.Unmarshal(e.Payload, &stored); err != nil {
+		t.Fatal(err)
+	}
+	pr6CheckPins(t, "disk", stored)
+	if hit["release"] != e.Fingerprint {
+		t.Errorf("hit release id %v != stored fingerprint %s", hit["release"], e.Fingerprint)
+	}
+}
+
+// TestFingerprintCacheHitDrawsNoNoise is the PR 4 refusal pattern for
+// cache hits: serving a memoized release consumes no randomness — the
+// rng is not even an input to the hit path — so a later cold run with
+// the same rng instance still produces the pinned bits.
+func TestFingerprintCacheHitDrawsNoNoise(t *testing.T) {
+	g := fpGraphK10(t)
+	cache, err := release.Open(filepath.Join(t.TempDir(), "rel"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := release.KeyFor(accountant.DatasetID(g), 0.5, 0.01, 10, 9, core.PlannedReceipt(0.5, 0.01))
+
+	// Memoize the question's release with an independent rng.
+	coldRes, err := core.EstimateCtx(liveRun(t, 4), g, core.Options{
+		Eps: 0.5, Delta: 0.01, Rng: randx.New(9),
+		Accountant: accountant.New(nil).WithLimit(dp.Budget{Eps: 0.5, Delta: 0.01}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Put(key, server.PrivateFitResult(coldRes, accountant.DatasetID(g))); err != nil {
+		t.Fatal(err)
+	}
+
+	// Serve the hit while holding the rng a cold fit would use.
+	rng := randx.New(9)
+	e, ok := cache.Get(key)
+	if !ok {
+		t.Fatal("memoized release missed")
+	}
+	var fr server.FitResult
+	if err := json.Unmarshal(e.Payload, &fr); err != nil {
+		t.Fatal(err)
+	}
+	const wantInit = uint64(0x1c23d17293445957)
+	if got := fpHashFloats(fr.Initiator.A, fr.Initiator.B, fr.Initiator.C); got != wantInit {
+		t.Errorf("served init fingerprint = %#x, want %#x (PR 2)", got, wantInit)
+	}
+	// The rng, untouched by the hit, still yields the pinned release.
+	res, err := core.EstimateCtx(liveRun(t, 4), g, core.Options{Eps: 0.5, Delta: 0.01, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fpHashFloats(res.Init.A, res.Init.B, res.Init.C); got != wantInit {
+		t.Errorf("post-hit fingerprint = %#x, want %#x (hit consumed randomness)", got, wantInit)
+	}
+}

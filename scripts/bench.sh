@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Runs the perf-trajectory benchmarks (graph construction, KronFit
 # Metropolis, ball dropping — the hot paths optimized in PR 2 — plus
-# PR 3's pipeline-overhead pairs, PR 4's mechanism-dispatch pairs and
-# PR 5's dataset text-parse vs binary-load pairs) and writes their
-# numbers to BENCH_5.json so future PRs have a recorded trajectory to
-# compare against.
+# PR 3's pipeline-overhead pairs, PR 4's mechanism-dispatch pairs,
+# PR 5's dataset text-parse vs binary-load pairs and PR 6's release
+# cache cold-fit vs cached-fit pairs) and writes their numbers to
+# BENCH_6.json so future PRs have a recorded trajectory to compare
+# against.
 #
 # Usage: scripts/bench.sh [output.json]
 #
@@ -17,6 +18,10 @@
 #               are 0.1–5 ms, so hundreds of iterations and a
 #               min-of-three are needed before the direct/accounted
 #               ratio is signal rather than scheduler noise
+#   RELEASE_COUNT
+#               repetition count (default 3) for the ReleaseCache
+#               family: the cached leg is ~0.1 ms, so a min-of-three
+#               keeps the cached_over_cold speedup noise-robust
 #   BASELINE    optional path to a previous BENCH_*.json whose ns/op
 #               numbers become the "baseline_ns_op" fields; without it,
 #               the pre-PR-2 numbers hardcoded below (sort.Slice Build,
@@ -41,11 +46,15 @@
 # the ns/op ratio of decoding the store's binary CSR form to parsing
 # the same graph's SNAP text (PR 5's acceptance bar is well under 1 —
 # binary load measurably faster — at any benchtime, since both legs
-# decode from memory on the same machine).
+# decode from memory on the same machine). The ReleaseCache family is
+# paired into a "release_cache" section: cached_over_cold is the
+# throughput ratio of re-serving a memoized private fit to computing
+# it (PR 6's acceptance bar is >= 20 at k=16 — same machine, same
+# question, so the ratio holds at any benchtime).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_5.json}"
+out="${1:-BENCH_6.json}"
 benchtime="${BENCHTIME:-3x}"
 dispatch_benchtime="${DISPATCH_BENCHTIME:-500x}"
 raw="$(mktemp)"
@@ -55,6 +64,8 @@ go test -run=NONE -bench='GraphBuild|KronFitMetropolis|BallDropN|PipelineOverhea
   -benchtime="$benchtime" -count=1 . | tee "$raw" >&2
 go test -run=NONE -bench='MechanismDispatch' \
   -benchtime="$dispatch_benchtime" -count="${DISPATCH_COUNT:-3}" . | tee -a "$raw" >&2
+go test -run=NONE -bench='ReleaseCache' \
+  -benchtime="$benchtime" -count="${RELEASE_COUNT:-3}" . | tee -a "$raw" >&2
 
 awk -v benchtime="$benchtime" -v baseline_json="${BASELINE:-}" '
 BEGIN {
@@ -87,7 +98,7 @@ BEGIN {
   }
   n = 0
 }
-/^Benchmark(GraphBuild|KronFitMetropolis|BallDropN|PipelineOverhead|MechanismDispatch|DatasetLoad)\// {
+/^Benchmark(GraphBuild|KronFitMetropolis|BallDropN|PipelineOverhead|MechanismDispatch|DatasetLoad|ReleaseCache)\// {
   name = $1
   sub(/^Benchmark/, "", name)
   sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
@@ -119,7 +130,7 @@ END {
   "go env GOVERSION" | getline gover
   "date -u +%Y-%m-%dT%H:%M:%SZ" | getline stamp
   printf "{\n"
-  printf "  \"pr\": 5,\n"
+  printf "  \"pr\": 6,\n"
   printf "  \"generated\": \"%s\",\n", stamp
   printf "  \"go\": \"%s\",\n", gover
   printf "  \"benchtime\": \"%s\",\n", benchtime
@@ -205,6 +216,30 @@ END {
     bin = ns_by_name[stem "-binary"] + 0
     printf "    {\"graph\": \"%s\", \"text_parse_ns_op\": %.0f, \"binary_load_ns_op\": %.0f, \"binary_over_text\": %.4f, \"speedup\": %.2f}%s\n", \
       short, text, bin, bin / text, text / bin, (i < nd - 1 ? "," : "")
+  }
+  printf "  ],\n"
+  # Matched cold/cached pairs -> release-cache speedups (qps = fits/s).
+  printf "  \"release_cache\": [\n"
+  nr = 0
+  for (name in ns_by_name) {
+    if (name ~ /^ReleaseCache\/.*-cold$/) {
+      stem = name
+      sub(/-cold$/, "", stem)
+      cachedname = stem "-cached"
+      if (cachedname in ns_by_name) rpairs[nr++] = stem
+    }
+  }
+  for (i = 0; i < nr; i++)
+    for (j = i + 1; j < nr; j++)
+      if (rpairs[j] < rpairs[i]) { tmp = rpairs[i]; rpairs[i] = rpairs[j]; rpairs[j] = tmp }
+  for (i = 0; i < nr; i++) {
+    stem = rpairs[i]
+    short = stem
+    sub(/^ReleaseCache\//, "", short)
+    cold = ns_by_name[stem "-cold"] + 0
+    cached = ns_by_name[stem "-cached"] + 0
+    printf "    {\"question\": \"%s\", \"cold_ns_op\": %.0f, \"cached_ns_op\": %.0f, \"cold_qps\": %.2f, \"cached_qps\": %.2f, \"cached_over_cold\": %.1f}%s\n", \
+      short, cold, cached, 1e9 / cold, 1e9 / cached, cold / cached, (i < nr - 1 ? "," : "")
   }
   printf "  ]\n}\n"
 }' "$raw" > "$out"
