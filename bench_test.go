@@ -23,8 +23,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"dpkron"
 	"dpkron/internal/accountant"
@@ -35,6 +40,7 @@ import (
 	"dpkron/internal/dp"
 	"dpkron/internal/experiments"
 	"dpkron/internal/graph"
+	"dpkron/internal/journal"
 	"dpkron/internal/kronfit"
 	"dpkron/internal/kronmom"
 	"dpkron/internal/randx"
@@ -704,5 +710,86 @@ func BenchmarkReleaseCache(b *testing.B) {
 				b.Fatalf("bad payload k=%d", fr.K)
 			}
 		}
+	})
+}
+
+// BenchmarkJournalOverhead measures what crash durability costs on the
+// serving path. Each op is one complete job lifecycle over the HTTP
+// API — admission, a K=15 private fit by stored dataset id, completion
+// — against a server with no journal (plain) and one journaling every
+// transition, with fsynced admission and terminal records (journal).
+// scripts/bench.sh computes journal_over_plain into BENCH_7.json's
+// journal_overhead section; the acceptance bound is <= 1.02 — a job's
+// durable records cost two fsyncs (a fixed handful of ms), which must
+// disappear into a production-shaped fit of ~1 s.
+func BenchmarkJournalOverhead(b *testing.B) {
+	g := featureGraph(b, 15, 1<<19)
+	store, err := dataset.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	meta, _, err := store.Put(g, "bench", "generated")
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	lifecycle := func(b *testing.B, jnl *journal.Journal) {
+		srv := server.New(server.Options{
+			Workers: 1, MaxJobs: 1, MaxQueue: 4, MaxHistory: 64,
+			Datasets: store, Journal: jnl,
+		})
+		defer srv.Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			body := fmt.Sprintf(`{"method":"private","eps":0.4,"delta":0.01,"k":15,"seed":%d,"dataset_id":%q}`,
+				i+1, meta.ID)
+			resp, err := http.Post(ts.URL+"/v1/fit", "application/json", strings.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var sub struct {
+				ID string `json:"id"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted || sub.ID == "" {
+				b.Fatalf("fit submit: %d %+v", resp.StatusCode, sub)
+			}
+			for {
+				resp, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var job struct {
+					Status string `json:"status"`
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+					b.Fatal(err)
+				}
+				resp.Body.Close()
+				if job.Status == "done" {
+					break
+				}
+				if job.Status == "failed" || job.Status == "cancelled" {
+					b.Fatalf("job ended %s", job.Status)
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}
+
+	b.Run("K=15-plain", func(b *testing.B) { lifecycle(b, nil) })
+	b.Run("K=15-journal", func(b *testing.B) {
+		jnl, err := journal.Open(filepath.Join(b.TempDir(), "jobs.journal"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer jnl.Close()
+		lifecycle(b, jnl)
 	})
 }

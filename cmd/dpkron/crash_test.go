@@ -1,0 +1,463 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"dpkron/internal/journal"
+)
+
+// serveProc wraps a `dpkron serve` subprocess: its base URL (parsed
+// from the startup banner), the accumulated stderr, and its exit.
+type serveProc struct {
+	cmd  *exec.Cmd
+	base string
+	mu   sync.Mutex
+	errb bytes.Buffer
+}
+
+// startServe boots `dpkron serve` with the given extra flags on an
+// ephemeral port and waits for the banner naming the bound address.
+func startServe(t *testing.T, bin string, extra ...string) *serveProc {
+	t.Helper()
+	args := append([]string{"serve", "-addr", "127.0.0.1:0"}, extra...)
+	p := &serveProc{cmd: exec.Command(bin, args...)}
+	stderr, err := p.cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if p.cmd.ProcessState == nil {
+			p.cmd.Process.Kill()
+			p.cmd.Wait()
+		}
+	})
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		p.mu.Lock()
+		p.errb.WriteString(line + "\n")
+		p.mu.Unlock()
+		if i := strings.Index(line, "http://"); i >= 0 {
+			p.base = strings.Fields(line[i:])[0]
+			break
+		}
+	}
+	if p.base == "" {
+		t.Fatalf("serve banner with address not seen; stderr:\n%s", p.stderr())
+	}
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			p.mu.Lock()
+			p.errb.WriteString(sc.Text() + "\n")
+			p.mu.Unlock()
+		}
+	}()
+	return p
+}
+
+func (p *serveProc) stderr() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.errb.String()
+}
+
+// wait blocks until the process exits and returns its exit code.
+func (p *serveProc) wait(t *testing.T) int {
+	t.Helper()
+	err := p.cmd.Wait()
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return ee.ExitCode()
+	}
+	t.Fatalf("serve wait: %v", err)
+	return -1
+}
+
+func postJSON(t *testing.T, url, body string) (int, map[string]any, http.Header) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil && err != io.EOF {
+		t.Fatalf("POST %s: decoding response: %v", url, err)
+	}
+	return resp.StatusCode, out, resp.Header
+}
+
+func getJSON(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil && err != io.EOF {
+		t.Fatalf("GET %s: decoding response: %v", url, err)
+	}
+	return resp.StatusCode, out
+}
+
+// pollDone polls a job until it reaches a terminal state.
+func pollDone(t *testing.T, base, id string, within time.Duration) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		code, job := getJSON(t, base+"/v1/jobs/"+id)
+		if code == http.StatusOK {
+			if s := job["status"]; s == "done" || s == "failed" || s == "cancelled" {
+				return job
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still not terminal after %s: %v", id, within, job)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// journalState decodes the journal file from outside the serving
+// process (tolerating a torn tail mid-write) and returns the reduced
+// state of one job, or nil if the job has no records yet.
+func journalState(t *testing.T, path, job string) *journal.JobState {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	recs, _, _ := journal.Decode(data)
+	for _, st := range journal.Reduce(recs) {
+		if st.Job == job {
+			return st
+		}
+	}
+	return nil
+}
+
+// TestCLIServeCrashResume is the end-to-end durability proof: a serve
+// process is SIGKILLed while a private fit is debited and running,
+// restarted on the same state directory, and must resume the fit
+// without a second debit and land the byte-identical release that an
+// uninterrupted run produces.
+func TestCLIServeCrashResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	edge := filepath.Join(dir, "g.txt")
+	store := filepath.Join(dir, "store")
+
+	// A graph big enough that the private fit takes O(1s): the window
+	// between the journal's running record and the done record, inside
+	// which the kill must land.
+	run(t, bin, "generate", "-a", "0.99", "-b", "0.6", "-c", "0.35",
+		"-k", "15", "-seed", "3", "-method", "balldrop", "-out", edge)
+	out := run(t, bin, "dataset", "import", "-store", store, "-in", edge)
+	dsID := strings.TrimSuffix(strings.Fields(out)[1], ":")
+
+	fitBody := fmt.Sprintf(`{"method":"private","eps":0.4,"delta":0.01,"k":15,"seed":3,"dataset_id":%q}`, dsID)
+	setBudget := func(ledger string) {
+		run(t, bin, "budget", "set", "-ledger", ledger, "-dataset", dsID,
+			"-eps", "0.45", "-delta", "0.05")
+	}
+
+	// Reference run: the same fit on a pristine state directory,
+	// completed without interruption, pins the expected release.
+	refLedger := filepath.Join(dir, "ref-ledger.json")
+	setBudget(refLedger)
+	ref := startServe(t, bin, "-ledger", refLedger,
+		"-release-cache", filepath.Join(dir, "ref-cache"), "-store", store)
+	code, sub, _ := postJSON(t, ref.base+"/v1/fit", fitBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("reference fit: %d %v", code, sub)
+	}
+	refJob := pollDone(t, ref.base, sub["id"].(string), 60*time.Second)
+	if refJob["status"] != "done" {
+		t.Fatalf("reference fit ended %v: %v", refJob["status"], refJob)
+	}
+	wantResult := refJob["result"]
+	ref.cmd.Process.Signal(os.Interrupt)
+	ref.wait(t)
+
+	// Crash run: same question against its own ledger/cache/journal.
+	ledger := filepath.Join(dir, "ledger.json")
+	cache := filepath.Join(dir, "cache")
+	jpath := filepath.Join(dir, "jobs.journal")
+	setBudget(ledger)
+	serveArgs := []string{"-ledger", ledger, "-release-cache", cache,
+		"-store", store, "-journal", jpath}
+	p := startServe(t, bin, serveArgs...)
+	code, sub, _ = postJSON(t, p.base+"/v1/fit", fitBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("crash-run fit: %d %v", code, sub)
+	}
+	id := sub["id"].(string)
+
+	// Kill -9 the instant the journal shows the fit running (its debit
+	// is already in the ledger by then).
+	killDeadline := time.Now().Add(30 * time.Second)
+	for {
+		st := journalState(t, jpath, id)
+		if st != nil && st.State == journal.StateRunning {
+			break
+		}
+		if st != nil && st.Terminal() {
+			t.Fatalf("fit finished before the kill landed (state %s); needs a bigger graph", st.State)
+		}
+		if time.Now().After(killDeadline) {
+			t.Fatalf("journal never showed %s running", id)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p.cmd.Process.Signal(syscall.SIGKILL)
+	p.cmd.Wait()
+
+	// The journal must witness the interrupted state: debited and
+	// running, no terminal record — a dangling debit only the resume
+	// path can settle.
+	st := journalState(t, jpath, id)
+	if st == nil || st.Terminal() || !st.Debited {
+		t.Fatalf("post-kill journal state: %+v, want debited and non-terminal", st)
+	}
+
+	// Restart on the same state directory: replay resumes the fit,
+	// re-issuing its debit under the journaled idempotent token.
+	p2 := startServe(t, bin, serveArgs...)
+	job := pollDone(t, p2.base, id, 60*time.Second)
+	if job["status"] != "done" {
+		t.Fatalf("resumed fit ended %v: %v", job["status"], job)
+	}
+
+	// Byte-identical release: deterministic re-execution from the
+	// journaled seed reproduces exactly the uninterrupted run's result.
+	if !reflect.DeepEqual(job["result"], wantResult) {
+		t.Errorf("resumed result differs from uninterrupted run:\nresumed: %v\nwant:    %v",
+			job["result"], wantResult)
+	}
+
+	// No second debit: exactly one receipt, with (0.05, 0.04) left of
+	// the (0.45, 0.05) allowance after the single (0.4, 0.01) spend.
+	code, acct := getJSON(t, p2.base+"/v1/budget/"+dsID)
+	if code != http.StatusOK {
+		t.Fatalf("budget after resume: %d %v", code, acct)
+	}
+	if n := acct["receipts"].(float64); n != 1 {
+		t.Fatalf("%v receipts after crash + resume, want exactly 1", n)
+	}
+	if rem := acct["remaining"].(map[string]any); math.Abs(rem["eps"].(float64)-0.05) > 1e-9 {
+		t.Errorf("remaining eps = %v, want 0.05", rem["eps"])
+	}
+
+	// The identical question is now a cache hit at zero budget even
+	// though the remaining allowance cannot cover a fresh fit.
+	code, hit, _ := postJSON(t, p2.base+"/v1/fit", fitBody)
+	if code != http.StatusOK {
+		t.Fatalf("post-resume identical fit: %d %v", code, hit)
+	}
+	if res, ok := hit["result"].(map[string]any); !ok || res["cached"] != true {
+		t.Fatalf("post-resume identical fit not served from cache: %v", hit)
+	}
+	if _, acct := getJSON(t, p2.base+"/v1/budget/"+dsID); acct["receipts"].(float64) != 1 {
+		t.Fatalf("cache hit debited the ledger: %v", acct)
+	}
+
+	p2.cmd.Process.Signal(os.Interrupt)
+	if exit := p2.wait(t); exit != 0 {
+		t.Fatalf("serve exited %d after SIGINT, want 0\n%s", exit, p2.stderr())
+	}
+}
+
+// TestCLIServeDrainExitsZero: SIGTERM starts a graceful drain — new
+// work refused with 503 + Retry-After while reads stay up — then the
+// drain deadline cancels the straggler, its terminal state reaches
+// the journal, and the process exits 0.
+func TestCLIServeDrainExitsZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "jobs.journal")
+	p := startServe(t, bin, "-journal", jpath, "-drain-timeout", "2s",
+		"-max-jobs", "1", "-workers", "1")
+
+	// A generate that cannot finish within the drain deadline.
+	code, sub, _ := postJSON(t, p.base+"/v1/generate",
+		`{"a":0.99,"b":0.55,"c":0.35,"k":16,"seed":5,"method":"exact","omit_edges":true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("long generate: %d %v", code, sub)
+	}
+	longID := sub["id"].(string)
+
+	p.cmd.Process.Signal(syscall.SIGTERM)
+
+	// Drain mode: admission refused with Retry-After, reads still
+	// served. The signal needs a moment to propagate, so poll for the
+	// first 503.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, _, hdr := postJSON(t, p.base+"/v1/generate", `{"a":0.9,"b":0.5,"c":0.3,"k":5,"seed":1}`)
+		if code == http.StatusServiceUnavailable {
+			if ra := hdr.Get("Retry-After"); ra != "10" {
+				t.Errorf("drain 503 Retry-After = %q, want \"10\"", ra)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("drain never refused admission (last status %d)", code)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if code, job := getJSON(t, p.base+"/v1/jobs/"+longID); code != http.StatusOK {
+		t.Errorf("read during drain: %d %v", code, job)
+	}
+
+	if exit := p.wait(t); exit != 0 {
+		t.Fatalf("serve exited %d after SIGTERM, want 0\n%s", exit, p.stderr())
+	}
+
+	// The straggler's cancellation reached the journal before exit: a
+	// restart on the same file answers for it.
+	p2 := startServe(t, bin, "-journal", jpath)
+	if code, job := getJSON(t, p2.base+"/v1/jobs/"+longID); code != http.StatusOK || job["status"] != "cancelled" {
+		t.Fatalf("replayed long job: %d %v, want cancelled", code, job)
+	}
+	p2.cmd.Process.Signal(os.Interrupt)
+	if exit := p2.wait(t); exit != 0 {
+		t.Fatalf("restarted serve exited %d, want 0\n%s", exit, p2.stderr())
+	}
+}
+
+// TestCLIJobCommands drives the `dpkron job` subcommand end to end
+// against a live server: list, show, wait (success and failure exit
+// codes) and cancel.
+func TestCLIJobCommands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	bin := buildCLI(t)
+	p := startServe(t, bin, "-max-jobs", "1", "-workers", "1")
+
+	code, sub, _ := postJSON(t, p.base+"/v1/generate", `{"a":0.9,"b":0.5,"c":0.3,"k":7,"seed":2}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("generate: %d %v", code, sub)
+	}
+	id := sub["id"].(string)
+
+	// wait blocks until done and prints the result.
+	out := run(t, bin, "job", "wait", "-server", p.base, "-id", id)
+	if !strings.Contains(out, "status: done") || !strings.Contains(out, `"nodes"`) {
+		t.Fatalf("job wait output:\n%s", out)
+	}
+
+	out = run(t, bin, "job", "list", "-server", p.base)
+	if !strings.Contains(out, id) || !strings.Contains(out, "done") {
+		t.Fatalf("job list output:\n%s", out)
+	}
+	out = run(t, bin, "job", "show", "-server", p.base, "-id", id)
+	if !strings.Contains(out, "job:    "+id) || !strings.Contains(out, "status: done") {
+		t.Fatalf("job show output:\n%s", out)
+	}
+
+	// Cancel a long job; waiting on it exits 1 and names the state.
+	code, sub, _ = postJSON(t, p.base+"/v1/generate",
+		`{"a":0.99,"b":0.55,"c":0.35,"k":16,"seed":5,"method":"exact","omit_edges":true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("long generate: %d %v", code, sub)
+	}
+	longID := sub["id"].(string)
+	out = run(t, bin, "job", "cancel", "-server", p.base, "-id", longID)
+	if !strings.Contains(out, longID) {
+		t.Fatalf("job cancel output:\n%s", out)
+	}
+	ec, out := exitCode(t, bin, "", "job", "wait", "-server", p.base, "-id", longID)
+	if ec != 1 || !strings.Contains(out, "cancelled") {
+		t.Fatalf("job wait on cancelled: exit %d\n%s", ec, out)
+	}
+
+	// Usage contract.
+	for _, args := range [][]string{
+		{"job"},                                      // missing action
+		{"job", "bogus", "-server", p.base},          // unknown action
+		{"job", "show", "-server", p.base},           // missing -id
+		{"job", "wait", "-server", p.base},           // missing -id
+		{"job", "cancel", "-server", p.base},         // missing -id
+		{"job", "list", "-server", p.base, "-bogus"}, // unknown flag
+	} {
+		if ec, out := exitCode(t, bin, "", args...); ec != 2 {
+			t.Errorf("dpkron %v: exit %d, want 2\n%s", args, ec, out)
+		}
+	}
+
+	// Unknown job id is a permanent error, not a retry loop.
+	ec, out = exitCode(t, bin, "", "job", "show", "-server", p.base, "-id", "job-999")
+	if ec != 1 || !strings.Contains(out, "unknown job") {
+		t.Fatalf("job show unknown id: exit %d\n%s", ec, out)
+	}
+
+	p.cmd.Process.Signal(os.Interrupt)
+	p.wait(t)
+}
+
+// TestJobWaitBackoffHonorsRetryAfter exercises the wait loop's
+// back-pressure handling in-process: the server answers 429 with a
+// 1-second Retry-After twice, then reports the job done. The wait
+// must respect the server's pacing (≥2s total) and still succeed.
+func TestJobWaitBackoffHonorsRetryAfter(t *testing.T) {
+	var mu sync.Mutex
+	refusals := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		if refusals < 2 {
+			refusals++
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"busy"}`)
+			return
+		}
+		fmt.Fprint(w, `{"id":"job-1","kind":"generate","status":"done","result":{"nodes":128}}`)
+	}))
+	defer ts.Close()
+
+	start := time.Now()
+	if err := jobWait(ts.URL, "job-1", 30*time.Second); err != nil {
+		t.Fatalf("jobWait: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Second {
+		t.Errorf("wait finished in %s; two Retry-After: 1 refusals demand ≥2s", elapsed)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if refusals != 2 {
+		t.Errorf("refusals = %d, want 2", refusals)
+	}
+}

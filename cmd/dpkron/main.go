@@ -13,7 +13,8 @@
 //	dpkron sweep   [-dataset NAME] [-trials N]
 //	dpkron ssgrowth [-kmin K] [-kmax K]
 //	dpkron sscompare [-kmin K] [-kmax K]
-//	dpkron serve   [-addr HOST:PORT] [-max-jobs N] [-ledger FILE] [-store DIR] [-release-cache DIR]
+//	dpkron serve   [-addr HOST:PORT] [-max-jobs N] [-ledger FILE] [-store DIR] [-release-cache DIR] [-journal FILE] [-drain-timeout D]
+//	dpkron job     <list|show|wait|cancel> -server URL [-id ID]
 //	dpkron budget  <show|set|reset> -ledger FILE [-dataset ID] [-eps E] [-delta D]
 //	dpkron dataset <import|list|info|export|rm> -store DIR [-in FILE|-] [-id ID] [-name S] [-out FILE]
 //	dpkron cache   <list|info|rm> -dir DIR [-id ID]
@@ -26,6 +27,13 @@
 // stdin, transparently gunzip (.txt.gz), and — given -store — resolve
 // stored dataset ids. Flag errors and missing required flags exit with
 // status 2 after printing usage; runtime failures exit 1.
+//
+// serve with -journal records every job transition in a durable,
+// checksummed log: a crashed server restarted on the same journal
+// resumes interrupted private fits without spending budget twice, and
+// SIGINT/SIGTERM drains gracefully — new work is refused with 503 +
+// Retry-After while running jobs get -drain-timeout to finish (then
+// are cancelled, journaled, and the process exits 0).
 package main
 
 import (
@@ -51,6 +59,7 @@ import (
 	"dpkron/internal/dp"
 	"dpkron/internal/experiments"
 	"dpkron/internal/graph"
+	"dpkron/internal/journal"
 	"dpkron/internal/kronfit"
 	"dpkron/internal/kronmom"
 	"dpkron/internal/pipeline"
@@ -190,6 +199,8 @@ func main() {
 		err = cmdSSCompare(args)
 	case "serve":
 		err = cmdServe(args)
+	case "job":
+		err = cmdJob(args)
 	case "budget":
 		err = cmdBudget(args)
 	case "dataset":
@@ -228,6 +239,7 @@ commands:
   ssgrowth   smooth sensitivity of triangles vs graph size
   sscompare  smooth sensitivity: SKG vs density-matched G(n,p)
   serve      run the HTTP/JSON estimation job service
+  job        list, show, wait for or cancel jobs on a running server
   budget     show, set or reset a privacy-budget ledger
   dataset    import, list, inspect, export or remove stored datasets
   cache      list, inspect or remove cached private-fit releases
@@ -631,6 +643,10 @@ func cmdServe(args []string) error {
 	storeDir := fs.String("store", "", "dataset store directory; enables /v1/datasets and fit-by-dataset-id")
 	releaseCache := fs.String("release-cache", "",
 		"release cache directory; identical private fits coalesce and repeats are re-served at zero budget")
+	journalPath := fs.String("journal", "",
+		"job journal file; makes jobs durable across crashes (resume without a second debit) and restarts")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second,
+		"on SIGINT/SIGTERM, how long running jobs may finish before being cancelled")
 	pf := addPipeFlags(fs) // -workers, -timeout (server lifetime), -progress (job event log)
 	if err := parse(fs, args); err != nil {
 		return err
@@ -659,6 +675,15 @@ func cmdServe(args []string) error {
 		}
 		opts.Releases = rc
 		fmt.Fprintf(os.Stderr, "dpkron serve: caching private-fit releases in %s\n", rc.Dir())
+	}
+	if *journalPath != "" {
+		jnl, err := journal.Open(*journalPath)
+		if err != nil {
+			return err
+		}
+		defer jnl.Close()
+		opts.Journal = jnl
+		fmt.Fprintf(os.Stderr, "dpkron serve: journaling jobs to %s\n", jnl.Path())
 	}
 	if *pf.progress {
 		// Event streams are serialized per job but concurrent across
@@ -700,10 +725,23 @@ func cmdServe(args []string) error {
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
-		fmt.Fprintln(os.Stderr, "dpkron serve: shutting down")
+		// Graceful drain: refuse new work (503 + Retry-After) while
+		// serving reads and letting running jobs finish; past the
+		// deadline, cancel stragglers so their terminal states land in
+		// the journal before the process exits. A drained exit is a
+		// success (status 0) — the journal holds no silent debits.
+		fmt.Fprintf(os.Stderr, "dpkron serve: draining (up to %s)\n", *drainTimeout)
+		srv.StartDrain()
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		srv.Drain(drainCtx)
+		cancel()
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		return httpSrv.Shutdown(shutCtx)
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "dpkron serve: drained, shutting down")
+		return nil
 	}
 }
 

@@ -87,4 +87,22 @@
 // to the blocking entry point for the same seed. The `dpkron serve`
 // command (internal/server) exposes the same pipeline as an HTTP/JSON
 // job API with polling, stage progress, and cancellation.
+//
+// # Durability and crash recovery
+//
+// A crash between a ledger debit and the served release would strand
+// spent budget. A Journal (OpenJournal) closes that window: the
+// server appends every job transition to an append-only checksummed
+// log — the admission record is fsynced, with the request and an
+// idempotency token, before the ledger is touched — and on restart
+// replays it, restoring finished jobs as pollable history and
+// resuming interrupted private fits without a second debit
+// (deterministic re-execution from the recorded seed lands the
+// byte-identical release). The invariant: every debit is matched by a
+// served release or an explicit journaled failure, never silence. A
+// torn tail from a mid-write crash truncates to the last whole
+// record; interior corruption is the typed error ErrJournalCorrupt.
+// `dpkron serve -journal FILE` wires it up, and SIGTERM drains
+// gracefully: admission refused with Retry-After, running jobs
+// finished or cancelled into the journal, exit 0.
 package dpkron

@@ -11,6 +11,7 @@ import (
 	"dpkron/internal/dataset"
 	"dpkron/internal/dp"
 	"dpkron/internal/graph"
+	"dpkron/internal/journal"
 	"dpkron/internal/kronfit"
 	"dpkron/internal/kronmom"
 	"dpkron/internal/linalg"
@@ -73,6 +74,17 @@ type (
 	// ReleaseEntry is one cached release: fingerprint, key, integrity
 	// checksum and the stored result payload.
 	ReleaseEntry = release.Entry
+	// Journal is an append-only checksummed log of server job
+	// transitions: the admission record (request, planned receipt,
+	// idempotency token) is fsynced before the ledger is debited, so a
+	// restart can resume an interrupted fit without a second debit.
+	Journal = journal.Journal
+	// JournalRecord is one decoded journal frame (job id, transition,
+	// payload).
+	JournalRecord = journal.Record
+	// JournalJobState is one job's state folded from its journal
+	// records; see JournalReduce.
+	JournalJobState = journal.JobState
 	// PrivateOptions configures the paper's Algorithm 1.
 	PrivateOptions = core.Options
 	// PrivateResult is the (ε, δ)-DP estimation outcome.
@@ -128,6 +140,34 @@ func PlannedReceipt(eps, delta float64) Receipt { return core.PlannedReceipt(eps
 // files are reported as misses (and evicted), never served. See
 // ExampleOpenReleaseCache.
 func OpenReleaseCache(dir string) (*ReleaseCache, error) { return release.Open(dir) }
+
+// OpenJournal opens (or creates) the durable job journal at path,
+// recovering a torn tail from a mid-write crash and taking an exclusive
+// lock on the file. A server given the journal (server.Options.Journal)
+// replays it on startup and resumes interrupted fits; interior
+// corruption surfaces as ErrJournalCorrupt, a live lock holder as
+// ErrJournalLocked.
+func OpenJournal(path string) (*Journal, error) { return journal.Open(path) }
+
+// JournalDecode decodes every whole record in data, returning the
+// records, the byte length of the valid prefix, and ErrJournalCorrupt
+// if a damaged record interrupts the log (a torn final record is not an
+// error: decoding simply stops at the last whole frame).
+func JournalDecode(data []byte) ([]JournalRecord, int64, error) { return journal.Decode(data) }
+
+// JournalReduce folds decoded records into per-job states, in first-seen
+// order — the same reduction the server replays on startup.
+func JournalReduce(recs []JournalRecord) []*JournalJobState { return journal.Reduce(recs) }
+
+// Journal error conditions, re-exported for errors.Is checks.
+var (
+	// ErrJournalCorrupt reports a damaged interior record: bytes after
+	// it cannot be trusted, so the journal refuses to open.
+	ErrJournalCorrupt = journal.ErrCorrupt
+	// ErrJournalLocked reports a live process already holding the
+	// journal's exclusive lock.
+	ErrJournalLocked = journal.ErrLocked
+)
 
 // ReleaseKeyFor builds the canonical cache key of the private-fit
 // question (datasetID, eps, delta, k, seed). The mechanism schedule is

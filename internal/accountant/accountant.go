@@ -160,6 +160,12 @@ type Receipt struct {
 	Policy  string    `json:"policy"`
 	Total   dp.Budget `json:"total"`
 	Charges []Charge  `json:"charges,omitempty"`
+	// Token, when set, makes the ledger debit idempotent: a second
+	// SpendToken with the same token on the same dataset is a no-op.
+	// The server uses the job id, so a crash between the debit and the
+	// journal record cannot double-charge on replay. Receipts attached
+	// to estimation results carry no token.
+	Token string `json:"token,omitempty"`
 }
 
 // Accountant records mechanism charges, composes them under a Policy,

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"dpkron/internal/dp"
+	"dpkron/internal/faultfs"
 	"dpkron/internal/fslock"
 	"dpkron/internal/graph"
 )
@@ -70,6 +71,7 @@ const ledgerVersion = 1
 // overdraw.
 type Ledger struct {
 	path string
+	fs   faultfs.FS
 	mu   sync.Mutex
 	data ledgerFile
 }
@@ -79,8 +81,12 @@ type Ledger struct {
 // <path>.tmp from a crashed writer is ignored and overwritten by the
 // next successful write; a corrupt ledger file is a hard error, never
 // silent data loss.
-func Open(path string) (*Ledger, error) {
-	l := &Ledger{path: path}
+func Open(path string) (*Ledger, error) { return OpenFS(faultfs.OS, path) }
+
+// OpenFS is Open against an explicit filesystem (fault-injection
+// tests).
+func OpenFS(fsys faultfs.FS, path string) (*Ledger, error) {
+	l := &Ledger{path: path, fs: fsys}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if err := l.reloadLocked(); err != nil {
@@ -96,7 +102,7 @@ func (l *Ledger) Path() string { return l.path }
 // state (empty when the file does not exist). Callers hold l.mu.
 func (l *Ledger) reloadLocked() error {
 	l.data = ledgerFile{Version: ledgerVersion, Datasets: map[string]*Account{}}
-	b, err := os.ReadFile(l.path)
+	b, err := l.fs.ReadFile(l.path)
 	switch {
 	case os.IsNotExist(err):
 		return nil
@@ -136,7 +142,7 @@ func (l *Ledger) persistLocked() error {
 		return err
 	}
 	tmp := l.path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := l.fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("accountant: writing ledger: %w", err)
 	}
@@ -151,7 +157,7 @@ func (l *Ledger) persistLocked() error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("accountant: closing ledger: %w", err)
 	}
-	if err := os.Rename(tmp, l.path); err != nil {
+	if err := l.fs.Rename(tmp, l.path); err != nil {
 		return fmt.Errorf("accountant: committing ledger: %w", err)
 	}
 	return nil
@@ -238,8 +244,35 @@ func (l *Ledger) Remaining(dataset string) dp.Budget {
 // the cross-process ledger lock throughout, so concurrent spenders —
 // goroutines or separate processes — can never jointly overdraw.
 func (l *Ledger) Spend(dataset string, r Receipt) error {
+	r.Token = ""
+	return l.spend(dataset, r)
+}
+
+// SpendToken is Spend made idempotent under token: the receipt is
+// recorded with the token, and a later SpendToken with the same token
+// on the same dataset succeeds without debiting again. This resolves
+// the two-phase crash window between a ledger debit and the journal
+// record acknowledging it — replay always re-issues the spend, and
+// exactly one debit lands regardless of where the crash fell. Tokens
+// are never garbage-collected from receipts; use job-unique ids.
+func (l *Ledger) SpendToken(dataset string, r Receipt, token string) error {
+	if token == "" {
+		return fmt.Errorf("accountant: SpendToken requires a token")
+	}
+	r.Token = token
+	return l.spend(dataset, r)
+}
+
+func (l *Ledger) spend(dataset string, r Receipt) error {
 	return l.withLocked(func() error {
 		acct := l.data.Datasets[dataset]
+		if r.Token != "" && acct != nil {
+			for _, prev := range acct.Receipts {
+				if prev.Token == r.Token {
+					return nil // this exact debit already landed
+				}
+			}
+		}
 		var have Account
 		if acct != nil {
 			have = *acct

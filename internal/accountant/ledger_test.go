@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"dpkron/internal/dp"
+	"dpkron/internal/faultfs"
 	"dpkron/internal/graph"
 )
 
@@ -236,5 +237,101 @@ func TestDatasetIDStableAndContentAddressed(t *testing.T) {
 	g4 := graph.FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}})
 	if DatasetID(g4) == id1 {
 		t.Fatal("node count not part of the fingerprint")
+	}
+}
+
+// TestSpendTokenIdempotent: re-issuing a token-bearing debit charges
+// exactly once — the replay path a server restart takes after a crash
+// between the ledger debit and its journal acknowledgement.
+func TestSpendTokenIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.json")
+	led, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := led.SetBudget("ds-a", dp.Budget{Eps: 1, Delta: 0.01}); err != nil {
+		t.Fatal(err)
+	}
+	r := testReceipt(0.4, 0)
+	for i := 0; i < 3; i++ {
+		if err := led.SpendToken("ds-a", r, "job-1"); err != nil {
+			t.Fatalf("SpendToken #%d: %v", i+1, err)
+		}
+	}
+	acct, _ := led.Account("ds-a")
+	if math.Abs(acct.Spent.Eps-0.4) > 1e-12 {
+		t.Fatalf("three same-token spends debited eps=%v, want 0.4", acct.Spent.Eps)
+	}
+	if len(acct.Receipts) != 1 {
+		t.Fatalf("%d receipts recorded, want 1", len(acct.Receipts))
+	}
+
+	// Idempotency survives a process restart (it lives in the file, not
+	// in memory) and is per-token: a fresh token debits again.
+	led2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := led2.SpendToken("ds-a", r, "job-1"); err != nil {
+		t.Fatalf("replayed SpendToken after reopen: %v", err)
+	}
+	if err := led2.SpendToken("ds-a", r, "job-2"); err != nil {
+		t.Fatalf("fresh-token SpendToken: %v", err)
+	}
+	acct, _ = led2.Account("ds-a")
+	if math.Abs(acct.Spent.Eps-0.8) > 1e-12 {
+		t.Fatalf("spent eps=%v after one replay + one fresh debit, want 0.8", acct.Spent.Eps)
+	}
+
+	// Tokenless Spend never matches a token.
+	if err := led2.SpendToken("ds-a", r, ""); err == nil {
+		t.Fatal("SpendToken accepted an empty token")
+	}
+}
+
+// TestLedgerInjectedFaults drives the persist path through every fault
+// point — open, torn write, failed fsync, failed rename — and asserts
+// the debit never lands half-way: the spend reports the error and both
+// the in-memory and on-disk state still show the pre-spend balance.
+func TestLedgerInjectedFaults(t *testing.T) {
+	faults := []faultfs.Fault{
+		{Op: faultfs.OpOpen, Path: "ledger.json.tmp"},
+		{Op: faultfs.OpWrite, Path: "ledger.json.tmp", Short: 10},
+		{Op: faultfs.OpSync, Path: "ledger.json.tmp"},
+		{Op: faultfs.OpRename, Path: "ledger.json.tmp"},
+	}
+	for _, fault := range faults {
+		t.Run(string(fault.Op), func(t *testing.T) {
+			inj := faultfs.NewInjector(faultfs.OS)
+			path := filepath.Join(t.TempDir(), "ledger.json")
+			led, err := OpenFS(inj, path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := led.SetBudget("ds-a", dp.Budget{Eps: 1, Delta: 0.01}); err != nil {
+				t.Fatal(err)
+			}
+			inj.Fail(fault)
+			if err := led.Spend("ds-a", testReceipt(0.4, 0)); !errors.Is(err, faultfs.ErrInjected) {
+				t.Fatalf("spend under %s fault: %v, want ErrInjected", fault.Op, err)
+			}
+			// The failed debit must not exist, in memory or on disk.
+			acct, ok := led.Account("ds-a")
+			if !ok || acct.Spent.Eps != 0 || len(acct.Receipts) != 0 {
+				t.Fatalf("failed spend left state behind: %+v", acct)
+			}
+			led2, err := Open(path)
+			if err != nil {
+				t.Fatalf("reopen after %s fault: %v", fault.Op, err)
+			}
+			acct, ok = led2.Account("ds-a")
+			if !ok || acct.Spent.Eps != 0 || len(acct.Receipts) != 0 {
+				t.Fatalf("failed spend reached disk: %+v", acct)
+			}
+			// And the ledger keeps working once the fault clears.
+			if err := led.Spend("ds-a", testReceipt(0.4, 0)); err != nil {
+				t.Fatalf("spend after fault cleared: %v", err)
+			}
+		})
 	}
 }

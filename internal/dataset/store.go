@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"dpkron/internal/accountant"
+	"dpkron/internal/faultfs"
 	"dpkron/internal/fslock"
 	"dpkron/internal/graph"
 )
@@ -61,6 +62,7 @@ type Meta struct {
 // there a store directory should be used by a single process.
 type Store struct {
 	dir string
+	fs  faultfs.FS
 
 	mu    sync.Mutex
 	cache map[string]*graph.Graph // id -> decoded graph (immutable)
@@ -73,11 +75,15 @@ const cacheSize = 8
 
 // Open returns a Store rooted at dir, creating the directory if
 // needed.
-func Open(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+func Open(dir string) (*Store, error) { return OpenFS(faultfs.OS, dir) }
+
+// OpenFS is Open against an explicit filesystem (fault-injection
+// tests).
+func OpenFS(fsys faultfs.FS, dir string) (*Store, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("dataset: opening store: %w", err)
 	}
-	return &Store{dir: dir, cache: map[string]*graph.Graph{}}, nil
+	return &Store{dir: dir, fs: fsys, cache: map[string]*graph.Graph{}}, nil
 }
 
 // Dir returns the store's root directory.
@@ -126,12 +132,12 @@ func (s *Store) Put(g *graph.Graph, name, source string) (Meta, bool, error) {
 	}
 	defer unlock()
 	if m, err := s.readMeta(id); err == nil {
-		if _, err := os.Stat(s.graphPath(id)); err == nil {
+		if _, err := s.fs.Stat(s.graphPath(id)); err == nil {
 			return m, false, nil
 		}
 	}
 	data := Marshal(g)
-	if err := writeAtomic(s.graphPath(id), data); err != nil {
+	if err := writeAtomic(s.fs, s.graphPath(id), data); err != nil {
 		return Meta{}, false, err
 	}
 	m := Meta{
@@ -147,7 +153,7 @@ func (s *Store) Put(g *graph.Graph, name, source string) (Meta, bool, error) {
 	if err != nil {
 		return Meta{}, false, err
 	}
-	if err := writeAtomic(s.metaPath(id), append(mb, '\n')); err != nil {
+	if err := writeAtomic(s.fs, s.metaPath(id), append(mb, '\n')); err != nil {
 		return Meta{}, false, err
 	}
 	return m, true, nil
@@ -172,7 +178,7 @@ func (s *Store) Load(id string) (*graph.Graph, error) {
 	if !validID(id) {
 		return nil, fmt.Errorf("%w: malformed id %q", ErrNotFound, id)
 	}
-	if _, err := os.Stat(s.graphPath(id)); err != nil {
+	if _, err := s.fs.Stat(s.graphPath(id)); err != nil {
 		if os.IsNotExist(err) {
 			return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 		}
@@ -184,7 +190,7 @@ func (s *Store) Load(id string) (*graph.Graph, error) {
 		return g, nil
 	}
 	s.mu.Unlock()
-	data, err := os.ReadFile(s.graphPath(id))
+	data, err := s.fs.ReadFile(s.graphPath(id))
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
@@ -221,12 +227,12 @@ func (s *Store) Has(id string) bool {
 	if !validID(id) {
 		return false
 	}
-	_, err := os.Stat(s.graphPath(id))
+	_, err := s.fs.Stat(s.graphPath(id))
 	return err == nil
 }
 
 func (s *Store) readMeta(id string) (Meta, error) {
-	b, err := os.ReadFile(s.metaPath(id))
+	b, err := s.fs.ReadFile(s.metaPath(id))
 	if err != nil {
 		if os.IsNotExist(err) {
 			return Meta{}, fmt.Errorf("%w: %s", ErrNotFound, id)
@@ -288,13 +294,13 @@ func (s *Store) Delete(id string) error {
 		return fmt.Errorf("dataset: locking store: %w", err)
 	}
 	defer unlock()
-	if _, err := os.Stat(s.graphPath(id)); os.IsNotExist(err) {
+	if _, err := s.fs.Stat(s.graphPath(id)); os.IsNotExist(err) {
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
-	if err := os.Remove(s.graphPath(id)); err != nil {
+	if err := s.fs.Remove(s.graphPath(id)); err != nil {
 		return fmt.Errorf("dataset: deleting %s: %w", id, err)
 	}
-	if err := os.Remove(s.metaPath(id)); err != nil && !os.IsNotExist(err) {
+	if err := s.fs.Remove(s.metaPath(id)); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("dataset: deleting metadata of %s: %w", id, err)
 	}
 	s.mu.Lock()
@@ -321,9 +327,9 @@ func (s *Store) ExportEdgeList(id string, w io.Writer) error {
 
 // writeAtomic writes data to path via tmp file, fsync and rename, so
 // readers only ever observe complete files.
-func writeAtomic(path string, data []byte) error {
+func writeAtomic(fsys faultfs.FS, path string, data []byte) error {
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("dataset: writing %s: %w", path, err)
 	}
@@ -338,7 +344,7 @@ func writeAtomic(path string, data []byte) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("dataset: closing %s: %w", path, err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fsys.Rename(tmp, path); err != nil {
 		return fmt.Errorf("dataset: committing %s: %w", path, err)
 	}
 	return nil

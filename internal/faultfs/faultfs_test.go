@@ -1,0 +1,147 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "f.txt")
+	if err := OS.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OS.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	moved := filepath.Join(dir, "moved.txt")
+	if err := OS.Rename(path, moved); err != nil {
+		t.Fatal(err)
+	}
+	b, err := OS.ReadFile(moved)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", b, err)
+	}
+	if _, err := OS.Stat(moved); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.Truncate(moved, 2); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := OS.ReadFile(moved); string(b) != "he" {
+		t.Fatalf("after truncate: %q", b)
+	}
+	if err := OS.Remove(moved); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(OS.Now()); d < 0 || d > time.Minute {
+		t.Errorf("OS.Now drift: %v", d)
+	}
+}
+
+func TestInjectorFiresOnNthMatch(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS).Fail(Fault{Op: OpSync, After: 1})
+	write := func(name string) error {
+		f, err := inj.OpenFile(filepath.Join(dir, name), os.O_WRONLY|os.O_CREATE, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if _, err := f.Write([]byte("x")); err != nil {
+			return err
+		}
+		return f.Sync()
+	}
+	if err := write("a"); err != nil {
+		t.Fatalf("first sync should pass: %v", err)
+	}
+	if err := write("b"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second sync: got %v, want ErrInjected", err)
+	}
+	if err := write("c"); err != nil {
+		t.Fatalf("fault is one-shot, third sync should pass: %v", err)
+	}
+}
+
+func TestInjectorPathFilterAndPersist(t *testing.T) {
+	dir := t.TempDir()
+	sentinel := errors.New("boom")
+	inj := NewInjector(OS).Fail(Fault{Op: OpRename, Path: "target", Err: sentinel, Persist: true})
+	src := filepath.Join(dir, "src")
+	if err := os.WriteFile(src, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Rename(src, filepath.Join(dir, "other")); err != nil {
+		t.Fatalf("non-matching rename: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		err := inj.Rename(filepath.Join(dir, "other"), filepath.Join(dir, "target"))
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("persistent fault round %d: got %v, want sentinel", i, err)
+		}
+	}
+}
+
+func TestInjectorShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn")
+	inj := NewInjector(OS).Fail(Fault{Op: OpWrite, Short: 3, Err: io.ErrShortWrite})
+	f, err := inj.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if n != 3 || !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("Write = %d, %v; want 3, ErrShortWrite", n, err)
+	}
+	f.Close()
+	// The torn prefix really landed: recovery code sees a crash-shaped
+	// file, not a clean absence.
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != "012" {
+		t.Fatalf("on disk after torn write: %q, %v", b, err)
+	}
+}
+
+func TestInjectorTraceAndOps(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS)
+	inj.SetNow(func() time.Time { return time.Unix(42, 0) })
+	if !inj.Now().Equal(time.Unix(42, 0)) {
+		t.Error("SetNow not honoured")
+	}
+	path := filepath.Join(dir, "t")
+	f, err := inj.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("x"))
+	f.Sync()
+	f.Close()
+	inj.ReadFile(path)
+	if got := inj.Ops(OpWrite, ""); got != 1 {
+		t.Errorf("Ops(write) = %d, want 1", got)
+	}
+	if got := inj.Ops("", "t"); got < 4 {
+		t.Errorf("Ops(any) = %d, want >= 4 (open, write, sync, close)", got)
+	}
+	trace := inj.Trace()
+	if len(trace) == 0 || trace[0] != "open "+path {
+		t.Errorf("trace[0] = %q", trace)
+	}
+}

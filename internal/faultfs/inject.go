@@ -1,0 +1,256 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the default error returned by a fired fault. Tests
+// match it with errors.Is through whatever wrapping the store applied,
+// proving the store surfaces I/O failures instead of swallowing them.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Op names one interceptable filesystem operation.
+type Op string
+
+// The interceptable operations. OpWrite and OpSync fire on the File
+// returned by OpenFile; the rest fire on the FS itself.
+const (
+	OpOpen     Op = "open"
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpClose    Op = "close"
+	OpRename   Op = "rename"
+	OpRemove   Op = "remove"
+	OpRead     Op = "read"
+	OpStat     Op = "stat"
+	OpMkdir    Op = "mkdir"
+	OpTruncate Op = "truncate"
+)
+
+// Fault is one scripted failure: the After-th (0-based) operation
+// matching Op and Path fails. A zero Fault value matches the first
+// operation of every kind on every path — set fields to narrow it.
+type Fault struct {
+	// Op selects the operation kind; empty matches every kind.
+	Op Op
+	// Path is a substring the operation's path must contain; empty
+	// matches every path. Rename matches on either path.
+	Path string
+	// After skips that many matching operations before firing
+	// (0 = fail the first match).
+	After int
+	// Err is the error to return; nil selects ErrInjected.
+	Err error
+	// Short, for OpWrite only, makes the write succeed for Short bytes
+	// before reporting the error — a torn write. Short = 0 writes
+	// nothing.
+	Short int
+	// Persist keeps the fault armed after it fires; by default a fault
+	// fires once.
+	Persist bool
+
+	hits int // matching ops seen so far
+	done bool
+}
+
+// Injector wraps an FS and fails scripted operations. It also records
+// an ordered trace of every operation it sees, so a test can first run
+// a scenario to enumerate its fault points and then re-run it failing
+// at each one. All methods are safe for concurrent use.
+type Injector struct {
+	inner FS
+
+	mu     sync.Mutex
+	faults []*Fault
+	trace  []string
+	now    func() time.Time
+}
+
+// NewInjector returns an Injector over inner (nil selects OS).
+func NewInjector(inner FS) *Injector {
+	if inner == nil {
+		inner = OS
+	}
+	return &Injector{inner: inner}
+}
+
+// Fail arms a fault and returns the injector for chaining.
+func (i *Injector) Fail(f Fault) *Injector {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.faults = append(i.faults, &f)
+	return i
+}
+
+// SetNow overrides the injector's clock.
+func (i *Injector) SetNow(now func() time.Time) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.now = now
+}
+
+// Trace returns the ordered "op path" strings of every operation seen.
+func (i *Injector) Trace() []string {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return append([]string(nil), i.trace...)
+}
+
+// Ops returns how many operations matching op (empty = all) and path
+// substring (empty = any) were seen.
+func (i *Injector) Ops(op Op, path string) int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	n := 0
+	for _, t := range i.trace {
+		kind, p, _ := strings.Cut(t, " ")
+		if (op == "" || kind == string(op)) && (path == "" || strings.Contains(p, path)) {
+			n++
+		}
+	}
+	return n
+}
+
+// check records the operation and returns the armed fault that fires
+// on it, if any.
+func (i *Injector) check(op Op, path string) *Fault {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.trace = append(i.trace, fmt.Sprintf("%s %s", op, path))
+	for _, f := range i.faults {
+		if f.done {
+			continue
+		}
+		if f.Op != "" && f.Op != op {
+			continue
+		}
+		if f.Path != "" && !strings.Contains(path, f.Path) {
+			continue
+		}
+		if f.hits < f.After {
+			f.hits++
+			continue
+		}
+		if !f.Persist {
+			f.done = true
+		}
+		return f
+	}
+	return nil
+}
+
+func (f *Fault) err() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrInjected
+}
+
+func (i *Injector) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if f := i.check(OpOpen, name); f != nil {
+		return nil, f.err()
+	}
+	file, err := i.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{inner: file, inj: i}, nil
+}
+
+func (i *Injector) Rename(oldpath, newpath string) error {
+	if f := i.check(OpRename, oldpath+" -> "+newpath); f != nil {
+		return f.err()
+	}
+	return i.inner.Rename(oldpath, newpath)
+}
+
+func (i *Injector) Remove(name string) error {
+	if f := i.check(OpRemove, name); f != nil {
+		return f.err()
+	}
+	return i.inner.Remove(name)
+}
+
+func (i *Injector) ReadFile(name string) ([]byte, error) {
+	if f := i.check(OpRead, name); f != nil {
+		return nil, f.err()
+	}
+	return i.inner.ReadFile(name)
+}
+
+func (i *Injector) Stat(name string) (fs.FileInfo, error) {
+	if f := i.check(OpStat, name); f != nil {
+		return nil, f.err()
+	}
+	return i.inner.Stat(name)
+}
+
+func (i *Injector) MkdirAll(path string, perm fs.FileMode) error {
+	if f := i.check(OpMkdir, path); f != nil {
+		return f.err()
+	}
+	return i.inner.MkdirAll(path, perm)
+}
+
+func (i *Injector) Truncate(name string, size int64) error {
+	if f := i.check(OpTruncate, name); f != nil {
+		return f.err()
+	}
+	return i.inner.Truncate(name, size)
+}
+
+func (i *Injector) Now() time.Time {
+	i.mu.Lock()
+	now := i.now
+	i.mu.Unlock()
+	if now != nil {
+		return now()
+	}
+	return i.inner.Now()
+}
+
+// injectFile intercepts write/sync/close on an opened file.
+type injectFile struct {
+	inner File
+	inj   *Injector
+}
+
+func (f *injectFile) Name() string { return f.inner.Name() }
+
+func (f *injectFile) Write(p []byte) (int, error) {
+	if flt := f.inj.check(OpWrite, f.inner.Name()); flt != nil {
+		n := flt.Short
+		if n > len(p) {
+			n = len(p)
+		}
+		if n > 0 {
+			// A torn write: the prefix really lands on disk, so recovery
+			// code sees exactly what a crash mid-write would leave.
+			if wn, werr := f.inner.Write(p[:n]); werr != nil {
+				return wn, werr
+			}
+		}
+		return n, flt.err()
+	}
+	return f.inner.Write(p)
+}
+
+func (f *injectFile) Sync() error {
+	if flt := f.inj.check(OpSync, f.inner.Name()); flt != nil {
+		return flt.err()
+	}
+	return f.inner.Sync()
+}
+
+func (f *injectFile) Close() error {
+	if flt := f.inj.check(OpClose, f.inner.Name()); flt != nil {
+		f.inner.Close() // do not leak the descriptor
+		return flt.err()
+	}
+	return f.inner.Close()
+}

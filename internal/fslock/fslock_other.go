@@ -4,10 +4,21 @@
 // on-disk store in the module uses for its read-modify-write brackets.
 package fslock
 
+import "errors"
+
+// ErrLocked is returned by LockNB when another process already holds
+// the lock. Never produced on platforms without flock.
+var ErrLocked = errors.New("fslock: held by another process")
+
 // Lock is a no-op on platforms without flock: stores still serialize
 // all in-process access through their mutexes and re-read their files
 // before every operation, but cross-process mutual exclusion is not
 // guaranteed — run a single store-owning process there.
 func Lock(path string) (unlock func(), err error) {
+	return func() {}, nil
+}
+
+// LockNB is a no-op on platforms without flock, like Lock.
+func LockNB(path string) (unlock func(), err error) {
 	return func() {}, nil
 }

@@ -1,0 +1,84 @@
+package release
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"dpkron/internal/faultfs"
+)
+
+// TestCachePutInjectedFaults drives Put through every fault point of
+// its tmp + fsync + rename path. The invariant: a failed Put reports
+// the error and leaves no entry — neither a hit in this process nor a
+// readable file for a fresh cache — and the cache keeps working once
+// the fault clears.
+func TestCachePutInjectedFaults(t *testing.T) {
+	faults := []faultfs.Fault{
+		{Op: faultfs.OpOpen, Path: ".json.tmp"},
+		{Op: faultfs.OpWrite, Path: ".json.tmp", Short: 9},
+		{Op: faultfs.OpSync, Path: ".json.tmp"},
+		{Op: faultfs.OpRename, Path: ".json.tmp"},
+	}
+	for _, fault := range faults {
+		t.Run(string(fault.Op), func(t *testing.T) {
+			inj := faultfs.NewInjector(faultfs.OS)
+			dir := filepath.Join(t.TempDir(), "cache")
+			c, err := OpenFS(inj, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := testKey(t)
+			inj.Fail(fault)
+			if _, err := c.Put(key, testPayload{Initiator: []float64{0.9, 0.6, 0.6, 0.2}}); !errors.Is(err, faultfs.ErrInjected) {
+				t.Fatalf("Put under %s fault: %v, want ErrInjected", fault.Op, err)
+			}
+			if _, ok := c.Get(key); ok {
+				t.Fatalf("failed Put left a hit in the same process")
+			}
+			fresh, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := fresh.Get(key); ok {
+				t.Fatalf("failed Put under %s fault reached disk", fault.Op)
+			}
+			if _, err := c.Put(key, testPayload{Initiator: []float64{0.9, 0.6, 0.6, 0.2}}); err != nil {
+				t.Fatalf("Put after fault cleared: %v", err)
+			}
+			if _, ok := fresh.Get(key); !ok {
+				t.Fatal("entry not visible after the fault cleared")
+			}
+		})
+	}
+}
+
+// TestCacheTornEntryCountsAsMiss: a short write that does land (the
+// crash-mid-Put artifact a rename would have hidden, simulated by
+// renaming the torn tmp into place) must read as a miss, not a served
+// half-release.
+func TestCacheTornEntryCountsAsMiss(t *testing.T) {
+	inj := faultfs.NewInjector(faultfs.OS)
+	dir := filepath.Join(t.TempDir(), "cache")
+	c, err := OpenFS(inj, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(t)
+	// Torn write, then let the rename go through anyway: the entry file
+	// now holds half an entry.
+	inj.Fail(faultfs.Fault{Op: faultfs.OpWrite, Path: ".json.tmp", Short: 40})
+	if _, err := c.Put(key, testPayload{Initiator: []float64{0.9, 0.6, 0.6, 0.2}}); err == nil {
+		t.Fatal("torn Put reported success")
+	}
+	if err := faultfs.OS.Rename(c.entryPath(key.Fingerprint())+".tmp", c.entryPath(key.Fingerprint())); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fresh.Get(key); ok {
+		t.Fatal("torn entry served as a hit")
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"dpkron/internal/accountant"
+	"dpkron/internal/faultfs"
 	"dpkron/internal/fslock"
 )
 
@@ -140,6 +141,7 @@ type Entry struct {
 // front. All methods are safe for concurrent use.
 type Cache struct {
 	dir string
+	fs  faultfs.FS
 
 	mu    sync.Mutex
 	lru   map[string]*Entry // fingerprint -> validated entry (immutable)
@@ -153,11 +155,15 @@ const lruSize = 128
 
 // Open returns a Cache rooted at dir, creating the directory if
 // needed.
-func Open(dir string) (*Cache, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+func Open(dir string) (*Cache, error) { return OpenFS(faultfs.OS, dir) }
+
+// OpenFS is Open against an explicit filesystem (fault-injection
+// tests).
+func OpenFS(fsys faultfs.FS, dir string) (*Cache, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("release: opening cache: %w", err)
 	}
-	return &Cache{dir: dir, lru: map[string]*Entry{}}, nil
+	return &Cache{dir: dir, fs: fsys, lru: map[string]*Entry{}}, nil
 }
 
 // Dir returns the cache's root directory.
@@ -216,7 +222,7 @@ func (c *Cache) Put(key Key, payload any) (*Entry, error) {
 		return nil, fmt.Errorf("release: locking cache: %w", err)
 	}
 	defer unlock()
-	if err := writeAtomic(c.entryPath(fp), append(data, '\n')); err != nil {
+	if err := writeAtomic(c.fs, c.entryPath(fp), append(data, '\n')); err != nil {
 		return nil, err
 	}
 	c.mu.Lock()
@@ -239,7 +245,7 @@ func (c *Cache) Get(key Key) (*Entry, bool) {
 		// Re-check existence so an entry removed by another process (or
 		// `dpkron cache rm`) stops resolving, mirroring the dataset
 		// store's stat-before-serve.
-		if _, err := os.Stat(c.entryPath(fp)); err == nil {
+		if _, err := c.fs.Stat(c.entryPath(fp)); err == nil {
 			return e, true
 		}
 		c.mu.Lock()
@@ -320,10 +326,10 @@ func (c *Cache) Delete(fp string) error {
 		return fmt.Errorf("release: locking cache: %w", err)
 	}
 	defer unlock()
-	if _, err := os.Stat(c.entryPath(fp)); os.IsNotExist(err) {
+	if _, err := c.fs.Stat(c.entryPath(fp)); os.IsNotExist(err) {
 		return fmt.Errorf("%w: %s", ErrNotFound, fp)
 	}
-	if err := os.Remove(c.entryPath(fp)); err != nil {
+	if err := c.fs.Remove(c.entryPath(fp)); err != nil {
 		return fmt.Errorf("release: deleting %s: %w", fp, err)
 	}
 	c.mu.Lock()
@@ -337,7 +343,7 @@ func (c *Cache) Delete(fp string) error {
 // checksum. Every mismatch is ErrCorrupt — a file that cannot prove
 // it is the release it claims to be is never served.
 func (c *Cache) loadEntry(fp string) (*Entry, error) {
-	data, err := os.ReadFile(c.entryPath(fp))
+	data, err := c.fs.ReadFile(c.entryPath(fp))
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, fmt.Errorf("%w: %s", ErrNotFound, fp)
@@ -366,7 +372,7 @@ func (c *Cache) loadEntry(fp string) (*Entry, error) {
 // evict removes a damaged entry file and its LRU slot, best-effort.
 func (c *Cache) evict(fp string) {
 	if unlock, err := c.lock(); err == nil {
-		_ = os.Remove(c.entryPath(fp))
+		_ = c.fs.Remove(c.entryPath(fp))
 		unlock()
 	}
 	c.mu.Lock()
@@ -413,9 +419,9 @@ func (c *Cache) forget(fp string) {
 // writeAtomic writes data to path via tmp file, fsync and rename, so
 // readers only ever observe complete files (the dataset store's
 // pattern).
-func writeAtomic(path string, data []byte) error {
+func writeAtomic(fsys faultfs.FS, path string, data []byte) error {
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("release: writing %s: %w", path, err)
 	}
@@ -430,7 +436,7 @@ func writeAtomic(path string, data []byte) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("release: closing %s: %w", path, err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fsys.Rename(tmp, path); err != nil {
 		return fmt.Errorf("release: committing %s: %w", path, err)
 	}
 	return nil

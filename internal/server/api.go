@@ -250,10 +250,14 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	// Ledger enforcement: debit the full requested budget at admission
 	// (Algorithm 1's charge schedule is data-independent, so the spend
 	// is known before the job runs). The debit happens inside submit's
-	// admission critical section; an exhausted account surfaces as 429
-	// with the remaining budget in the body.
-	var admit func() error
+	// admission critical section — with a journal, under a journaled
+	// per-admission idempotent spend token, so a replay after a crash
+	// re-issues it without double-charging; without one, as a plain
+	// debit. An exhausted account surfaces as 429 with the remaining
+	// budget in the body.
+	var admit func(token string) error
 	var dataset string
+	var planned *accountant.Receipt
 	var refused *accountant.ExhaustedError
 	if s.opts.Ledger != nil && method == "private" {
 		dataset = req.Dataset
@@ -266,23 +270,124 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		if dataset == "" {
 			dataset = accountant.DatasetID(g)
 		}
-		planned := core.PlannedReceipt(req.Eps, req.Delta)
-		admit = func() error {
-			err := s.opts.Ledger.Spend(dataset, planned)
+		p := core.PlannedReceipt(req.Eps, req.Delta)
+		planned = &p
+		admit = func(token string) error {
+			var err error
+			if token == "" {
+				err = s.opts.Ledger.Spend(dataset, p)
+			} else {
+				err = s.opts.Ledger.SpendToken(dataset, p, token)
+			}
 			errors.As(err, &refused)
 			return err
 		}
 	}
-	fn := func(run *pipeline.Run) (any, error) {
+	fj := fitJob{
+		req: req, method: method, dataset: dataset,
+		relKey: relKey, useCache: useCache,
+		loadGraph: func() (*graph.Graph, error) { return g, nil },
+	}
+	fn := s.fitFn(fj)
+	reqJSON, _ := json.Marshal(&req)
+	spec := jobSpec{
+		kind:    "fit/" + method,
+		request: reqJSON,
+		dataset: dataset,
+		planned: planned,
+		admit:   admit,
+		fn:      fn,
+	}
+	var j *job
+	var status int
+	var msg string
+	if useCache {
+		// Single-flight admission: under flightMu, re-check the cache
+		// and the in-flight map, then submit. The lock makes
+		// miss-then-debit atomic — of N concurrent identical requests,
+		// exactly one passes the ledger-debit critical section and runs;
+		// the rest join its job or are served the cached result.
+		fp := relKey.Fingerprint()
+		inner := fn
+		spec.releaseKey = &relKey
+		spec.fn = func(run *pipeline.Run) (any, error) {
+			// Drop the flight registration on every exit; on success the
+			// Put above has already happened, so the question is always
+			// answerable by either the flight map or the cache.
+			defer s.forgetFlight(fp)
+			return inner(run)
+		}
+		s.flightMu.Lock()
+		if s.serveReleaseLocked(w, relKey) {
+			s.flightMu.Unlock()
+			return
+		}
+		j, status, msg = s.submit(spec)
+		if j != nil {
+			s.flights[fp] = j
+		}
+		s.flightMu.Unlock()
+	} else {
+		j, status, msg = s.submit(spec)
+	}
+	if j == nil {
+		if refused != nil {
+			// Budget refusals answer with the machine-readable remaining
+			// budget so clients can right-size their next request, and a
+			// Retry-After suited to budgets (a raise is an operator
+			// action, not a momentary spike).
+			setRetryAfter(w, http.StatusTooManyRequests, true)
+			writeJSON(w, http.StatusTooManyRequests, map[string]any{
+				"error":     msg,
+				"dataset":   dataset,
+				"remaining": refused.Remaining(),
+			})
+			return
+		}
+		setRetryAfter(w, status, false)
+		writeError(w, status, msg)
+		return
+	}
+	writeJSON(w, status, j.view())
+}
+
+// fitJob bundles everything a fit job's execution closure needs —
+// built from the HTTP request on the admission path and from the
+// journaled admission record on the replay path, so a resumed fit
+// runs the identical code (same seed, same mechanisms) and lands the
+// identical release.
+type fitJob struct {
+	// req is the FitRequest after defaulting — the form that is
+	// journaled, so replay never re-derives defaults.
+	req      FitRequest
+	method   string
+	dataset  string
+	relKey   release.Key
+	useCache bool
+	// loadGraph defers graph materialization into the job: the HTTP
+	// path closes over the already-decoded graph, replay loads from
+	// the store or re-parses the recorded request — and a load failure
+	// becomes a journaled job failure, never silence.
+	loadGraph func() (*graph.Graph, error)
+}
+
+// fitFn builds the job closure executing the fit described by fj.
+func (s *Server) fitFn(fj fitJob) func(run *pipeline.Run) (any, error) {
+	return func(run *pipeline.Run) (any, error) {
+		g, err := fj.loadGraph()
+		if err != nil {
+			return nil, err
+		}
+		req := fj.req
 		rng := randx.New(req.Seed)
-		switch method {
+		switch fj.method {
 		case "mom":
 			est, err := kronmom.FitGraphCtx(run, g, req.K, kronmom.Options{Rng: rng})
 			if err != nil {
 				return nil, err
 			}
 			return FitResult{
-				Method:    method,
+				Method:    fj.method,
 				Initiator: InitiatorJSON{est.Init.A, est.Init.B, est.Init.C},
 				K:         est.K,
 				Objective: &est.Objective,
@@ -293,7 +398,7 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 				return nil, err
 			}
 			return FitResult{
-				Method:        method,
+				Method:        fj.method,
 				Initiator:     InitiatorJSON{res.Init.A, res.Init.B, res.Init.C},
 				K:             res.K,
 				LogLikelihood: &res.LogLikelihood,
@@ -309,67 +414,36 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return nil, err
 			}
-			out := PrivateFitResult(res, dataset)
-			if useCache {
+			out := PrivateFitResult(res, fj.dataset)
+			if fj.useCache {
 				// Memoize the release itself — before Remaining is filled,
 				// which reports ledger state at this moment, not part of
 				// the answer. A failed Put costs future hits, not this
 				// run's correctness.
-				_, _ = s.opts.Releases.Put(relKey, out)
+				_, _ = s.opts.Releases.Put(fj.relKey, out)
 			}
-			if s.opts.Ledger != nil && dataset != "" {
-				rem := s.opts.Ledger.Remaining(dataset)
+			if s.opts.Ledger != nil && fj.dataset != "" {
+				rem := s.opts.Ledger.Remaining(fj.dataset)
 				out.Remaining = &rem
 			}
 			return out, nil
 		}
 	}
-	var j *job
-	var status int
-	var msg string
-	if useCache {
-		// Single-flight admission: under flightMu, re-check the cache
-		// and the in-flight map, then submit. The lock makes
-		// miss-then-debit atomic — of N concurrent identical requests,
-		// exactly one passes the ledger-debit critical section and runs;
-		// the rest join its job or are served the cached result.
-		fp := relKey.Fingerprint()
-		inner := fn
-		fn = func(run *pipeline.Run) (any, error) {
-			// Drop the flight registration on every exit; on success the
-			// Put above has already happened, so the question is always
-			// answerable by either the flight map or the cache.
-			defer s.forgetFlight(fp)
-			return inner(run)
-		}
-		s.flightMu.Lock()
-		if s.serveReleaseLocked(w, relKey) {
-			s.flightMu.Unlock()
-			return
-		}
-		j, status, msg = s.submit("fit/"+method, admit, fn)
-		if j != nil {
-			s.flights[fp] = j
-		}
-		s.flightMu.Unlock()
-	} else {
-		j, status, msg = s.submit("fit/"+method, admit, fn)
+}
+
+// setRetryAfter attaches the Retry-After hint matched to why the
+// request was refused: a queue spike clears in about a second, a
+// draining server is replaced within seconds, an exhausted budget
+// waits on an operator raising it.
+func setRetryAfter(w http.ResponseWriter, status int, budget bool) {
+	switch {
+	case budget:
+		w.Header().Set("Retry-After", "60")
+	case status == http.StatusServiceUnavailable:
+		w.Header().Set("Retry-After", "10")
+	case status == http.StatusTooManyRequests:
+		w.Header().Set("Retry-After", "1")
 	}
-	if j == nil {
-		if refused != nil {
-			// Budget refusals answer with the machine-readable remaining
-			// budget so clients can right-size their next request.
-			writeJSON(w, http.StatusTooManyRequests, map[string]any{
-				"error":     msg,
-				"dataset":   dataset,
-				"remaining": refused.Remaining(),
-			})
-			return
-		}
-		writeError(w, status, msg)
-		return
-	}
-	writeJSON(w, status, j.view())
 }
 
 // Per-request bounds for generate jobs: maxGenerateK matches the fit
@@ -467,7 +541,8 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	j, status, msg := s.submit("generate", nil, func(run *pipeline.Run) (any, error) {
+	reqJSON, _ := json.Marshal(&req)
+	j, status, msg := s.submit(jobSpec{kind: "generate", request: reqJSON, fn: func(run *pipeline.Run) (any, error) {
 		rng := randx.New(req.Seed)
 		var g *graph.Graph
 		var err error
@@ -500,8 +575,9 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 			res.EdgeList = sb.String()
 		}
 		return res, nil
-	})
+	}})
 	if j == nil {
+		setRetryAfter(w, status, false)
 		writeError(w, status, msg)
 		return
 	}

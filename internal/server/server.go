@@ -53,10 +53,29 @@
 // (bounded by MaxQueue, further submissions get 429). Every job runs
 // under its own context derived from the server's, so Close cancels
 // everything in flight.
+//
+// With Options.Journal configured, the server is crash-safe: every
+// job transition is appended to a durable, checksummed journal — the
+// admission record (fsynced before the ledger debit) carries the
+// request, planned receipt, release key and an idempotency token, and
+// the terminal record is fsynced before eviction may forget the job.
+// New replays the journal on startup, restoring terminal jobs as
+// pollable history and resuming interrupted fits without a second
+// debit (cache-first, then SpendToken under the journaled token,
+// then deterministic re-execution from the recorded seed). The
+// serving invariant: every debit is eventually matched by a served
+// release or an explicit journaled failure — never silence.
+// StartDrain and Drain implement graceful shutdown: admission is
+// refused with 503 + Retry-After (budget and queue refusals carry
+// Retry-After too) while reads and cache hits stay available, running
+// jobs get the drain deadline to finish, and stragglers are cancelled
+// so their terminal states reach the journal before Drain returns.
 package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -65,6 +84,7 @@ import (
 
 	"dpkron/internal/accountant"
 	"dpkron/internal/dataset"
+	"dpkron/internal/journal"
 	"dpkron/internal/parallel"
 	"dpkron/internal/pipeline"
 	"dpkron/internal/release"
@@ -109,6 +129,15 @@ type Options struct {
 	// job: a repeated question is served from the cache at zero budget
 	// and zero compute (see the package comment).
 	Releases *release.Cache
+	// Journal, when set, makes serving crash-safe: every job's state
+	// transitions are append-logged (with the request payload, dataset,
+	// planned receipt and release key at admission), New replays the log
+	// — journaled terminal jobs answer GET /v1/jobs/{id} across
+	// restarts, and an unfinished fit is resumed without a second
+	// ledger debit (the idempotent spend token re-issues the charge at
+	// most once). The caller owns the journal's lifecycle and must keep
+	// it open until after Close/Drain returns.
+	Journal *journal.Journal
 }
 
 func (o *Options) fill() {
@@ -137,11 +166,17 @@ type Server struct {
 	slots  chan struct{}
 	wg     sync.WaitGroup
 
-	mu     sync.Mutex
-	jobs   map[string]*job
-	order  []string
-	next   int
-	active int // admitted and not yet finalized (queued + running)
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string
+	next     int
+	active   int  // admitted and not yet finalized (queued + running)
+	draining bool // StartDrain called: refuse new admissions with 503
+	// admitting holds job ids whose admission record is journaled but
+	// whose job is not yet registered — a window journal compaction
+	// must not drop.
+	admitting           map[string]struct{}
+	evictedSinceCompact int
 
 	// flights single-flights private fits by release fingerprint: while
 	// a fit for a question is queued or running, identical submissions
@@ -161,12 +196,13 @@ func New(opts Options) *Server {
 	opts.fill()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		opts:    opts,
-		ctx:     ctx,
-		cancel:  cancel,
-		slots:   make(chan struct{}, opts.MaxJobs),
-		jobs:    map[string]*job{},
-		flights: map[string]*job{},
+		opts:      opts,
+		ctx:       ctx,
+		cancel:    cancel,
+		slots:     make(chan struct{}, opts.MaxJobs),
+		jobs:      map[string]*job{},
+		flights:   map[string]*job{},
+		admitting: map[string]struct{}{},
 	}
 	// Split the budget across the job slots: a saturated server stays
 	// within Options.Workers total.
@@ -188,8 +224,17 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/releases", s.handleReleaseList)
 	s.mux.HandleFunc("GET /v1/releases/{id}", s.handleRelease)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		status := "ok"
+		s.mu.Lock()
+		if s.draining {
+			status = "draining"
+		}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]string{"status": status})
 	})
+	if opts.Journal != nil {
+		s.replay()
+	}
 	return s
 }
 
@@ -201,6 +246,40 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Close() {
 	s.cancel()
 	s.wg.Wait()
+}
+
+// StartDrain stops admission: subsequent job submissions are refused
+// with 503 + Retry-After while everything already admitted keeps
+// running. Cache hits, job polling, and the read-only endpoints stay
+// available throughout.
+func (s *Server) StartDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Drain gracefully shuts the job manager down: admission stops, jobs
+// already admitted run to completion until ctx expires, then
+// stragglers are cancelled — and waited for, so every job's terminal
+// state (done, failed, or cancelled) is journaled before Drain
+// returns. The HTTP listener is the caller's to close; call Drain
+// before closing the journal.
+func (s *Server) Drain(ctx context.Context) {
+	s.StartDrain()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Deadline: cancel what remains and wait for the cancellations
+		// to finalize (each journals its cancelled record on the way
+		// out).
+		s.cancel()
+		<-done
+	}
 }
 
 // Job statuses.
@@ -229,6 +308,9 @@ type job struct {
 	stages []StageProgress
 	result any
 	errMsg string
+	// journaled marks the terminal state as recorded in the journal;
+	// only journaled terminal jobs may be evicted from memory.
+	journaled bool
 }
 
 // sink returns the pipeline Sink recording stage progress on the job.
@@ -289,49 +371,135 @@ func (j *job) view() view {
 	return v
 }
 
+// jobSpec is everything submit needs to admit, journal, and run a
+// job. The admission payload fields (request, dataset, planned,
+// releaseKey) are what a restarted server needs to resume the job
+// from its journal record.
+type jobSpec struct {
+	kind string
+	// id preassigns the job id (journal replay); empty allocates the
+	// next "job-N".
+	id string
+	// replayed marks a journal-resumed job: its admission record is
+	// already on disk and it was admitted once, so it bypasses the
+	// queue cap and the admission journaling.
+	replayed bool
+	// request is the submitted body, journaled at admission so replay
+	// can rebuild fn.
+	request json.RawMessage
+	// dataset, planned and releaseKey are the fit's ledger account,
+	// admission debit, and release-cache key (private fits).
+	dataset    string
+	planned    *accountant.Receipt
+	releaseKey *release.Key
+	// admit runs after the admission record is journaled, before the
+	// job is registered — the ledger-debit hook. With a journal it
+	// receives the admission's unique spend token (journaled, so replay
+	// re-issues the identical idempotent debit); without one the token
+	// is empty and the hook debits plainly.
+	admit func(token string) error
+	fn    func(run *pipeline.Run) (any, error)
+}
+
 // submit registers a job and launches its goroutine. fn runs once a
 // job slot frees up, under a pipeline Run wired to the job's context
 // and progress sink. Returns nil (plus an HTTP status and message)
-// when the queue is full, or when the optional admit hook refuses.
-// The queue slot is reserved first, then admit runs outside s.mu —
-// a ledger debit does disk I/O (fsync) and must not stall every other
-// endpoint — so a committed debit never needs rolling back for a
-// queue-full rejection, only the slot reservation is undone on
-// refusal.
-func (s *Server) submit(kind string, admit func() error, fn func(run *pipeline.Run) (any, error)) (*job, int, string) {
+// when the server is draining, the queue is full, or the admit hook
+// refuses. The queue slot is reserved first, then journaling and
+// admission run outside s.mu — both do disk I/O (fsync) and must not
+// stall every other endpoint — so a committed debit never needs
+// rolling back for a queue-full rejection, only the slot reservation
+// is undone on refusal.
+//
+// With a journal, the write order carries the crash-consistency
+// protocol: the admission record (fsynced) precedes the ledger debit,
+// so a crash anywhere in between leaves a journaled job whose replay
+// re-issues the debit under its idempotent job-id token — exactly one
+// debit lands no matter where the crash fell. A refused admission is
+// closed with a journaled failure so the admitted record never
+// dangles.
+func (s *Server) submit(spec jobSpec) (*job, int, string) {
 	s.mu.Lock()
-	if s.active >= s.opts.MaxQueue {
+	if s.draining {
+		s.mu.Unlock()
+		return nil, http.StatusServiceUnavailable, "server is draining; retry against the restarted instance"
+	}
+	if !spec.replayed && s.active >= s.opts.MaxQueue {
 		active := s.active
 		s.mu.Unlock()
 		return nil, http.StatusTooManyRequests, fmt.Sprintf("job queue full (%d active)", active)
 	}
 	s.active++ // reserve the queue slot before the lock is dropped
+	id := spec.id
+	if id == "" {
+		s.next++
+		id = fmt.Sprintf("job-%d", s.next)
+	}
+	s.admitting[id] = struct{}{}
 	s.mu.Unlock()
-	if admit != nil {
-		if err := admit(); err != nil {
-			s.mu.Lock()
-			s.active--
-			s.mu.Unlock()
+	undo := func() {
+		s.mu.Lock()
+		s.active--
+		delete(s.admitting, id)
+		s.mu.Unlock()
+	}
+	var token string
+	if s.opts.Journal != nil && !spec.replayed {
+		// The spend token must be unique across process lifetimes (job
+		// ids restart with the server; a collision with an old receipt
+		// would silently skip a legitimate debit), and it must be
+		// journaled before the debit so replay re-issues the identical
+		// token.
+		if spec.planned != nil {
+			token = id + "-" + randomSuffix()
+		}
+		rec := journal.Record{
+			Job: id, State: journal.StateAdmitted, Kind: spec.kind,
+			Request: spec.request, Dataset: spec.dataset,
+			Planned: spec.planned, Token: token, ReleaseKey: spec.releaseKey,
+		}
+		if err := s.opts.Journal.Append(rec, true); err != nil {
+			undo()
+			return nil, http.StatusInternalServerError, fmt.Sprintf("journaling admission: %v", err)
+		}
+	}
+	if spec.admit != nil {
+		if err := spec.admit(token); err != nil {
+			// Close the journaled admission with an explicit failure —
+			// the invariant's "never silence" — before undoing the slot.
+			if s.opts.Journal != nil {
+				_ = s.opts.Journal.Append(journal.Record{
+					Job: id, State: journal.StateFailed, Kind: spec.kind,
+					Error: "admission refused: " + err.Error(),
+				}, true)
+			}
+			undo()
 			status := http.StatusInternalServerError
 			if errors.Is(err, accountant.ErrBudgetExhausted) {
 				status = http.StatusTooManyRequests
 			}
 			return nil, status, err.Error()
 		}
+		if s.opts.Journal != nil && spec.planned != nil {
+			// The debit landed; record it. Async is safe: losing this
+			// record only means replay re-issues the idempotent token.
+			_ = s.opts.Journal.Append(journal.Record{Job: id, State: journal.StateDebited}, false)
+		}
 	}
 	s.mu.Lock()
-	s.next++
 	ctx, cancel := context.WithCancel(s.ctx)
 	j := &job{
-		id:     fmt.Sprintf("job-%d", s.next),
-		kind:   kind,
+		id:     id,
+		kind:   spec.kind,
 		cancel: cancel,
 		status: StatusQueued,
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
+	delete(s.admitting, id)
 	s.wg.Add(1)
 	s.mu.Unlock()
+	fn := spec.fn
 
 	go func() {
 		defer s.wg.Done()
@@ -351,6 +519,12 @@ func (s *Server) submit(kind string, admit func() error, fn func(run *pipeline.R
 			return
 		}
 		j.setStatus(StatusRunning)
+		if s.opts.Journal != nil {
+			// Recoverable by re-execution, so async: a lost running
+			// record only costs replay the knowledge that the fit had
+			// started.
+			_ = s.opts.Journal.Append(journal.Record{Job: j.id, State: journal.StateRunning}, false)
+		}
 		sink := j.sink()
 		if s.opts.EventLog != nil {
 			inner := sink
@@ -389,19 +563,76 @@ func (j *job) terminal() bool {
 	return terminalStatus(j.status)
 }
 
+// randomSuffix returns 8 random hex bytes for the per-admission spend
+// token: job ids restart with the process, so the id alone could
+// collide with a receipt journaled by an earlier instance.
+func randomSuffix() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("server: reading random token suffix: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
 // finalize runs once per job, after it reaches a terminal state:
-// releases the job context's resources, frees the admission slot, and
-// evicts the oldest finished jobs beyond Options.MaxHistory.
+// journals the terminal transition (fsynced — the record that closes
+// the job's debit, and the precondition for evicting it), releases
+// the job context's resources, frees the admission slot, and evicts
+// the oldest finished jobs beyond Options.MaxHistory.
 func (s *Server) finalize(j *job) {
 	j.cancel()
+	s.journalTerminal(j, true)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.active--
 	s.evictHistoryLocked()
 }
 
-// evictHistoryLocked drops the oldest terminal jobs beyond
-// Options.MaxHistory; callers hold s.mu.
+// journalTerminal appends the job's terminal record and marks the job
+// evictable. If the append fails, the job stays unjournaled — and
+// therefore never evicted from memory — so its outcome remains
+// observable somewhere: never silence.
+func (s *Server) journalTerminal(j *job, sync bool) {
+	if s.opts.Journal == nil {
+		j.mu.Lock()
+		j.journaled = true
+		j.mu.Unlock()
+		return
+	}
+	j.mu.Lock()
+	rec := journal.Record{Job: j.id, State: j.status, Kind: j.kind, Error: j.errMsg}
+	if j.status == StatusDone && j.result != nil {
+		// Retain the result when it fits the cap so GET /v1/jobs/{id}
+		// answers across restarts; an oversized payload (a huge generate
+		// edge list) is elided, keeping only the done state.
+		if raw, err := json.Marshal(j.result); err == nil && len(raw) <= journal.MaxResultBytes {
+			rec.Result = raw
+		}
+	}
+	j.mu.Unlock()
+	if err := s.opts.Journal.Append(rec, sync); err != nil {
+		return
+	}
+	j.mu.Lock()
+	j.journaled = true
+	j.mu.Unlock()
+}
+
+// evictable reports whether the job may be dropped from memory: it
+// must be terminal AND have its terminal state journaled (with a
+// journal configured, the journal is the source of truth for
+// -max-history — evicting an unjournaled terminal job would erase its
+// outcome entirely).
+func (j *job) evictable() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return terminalStatus(j.status) && j.journaled
+}
+
+// evictHistoryLocked drops the oldest evictable terminal jobs beyond
+// Options.MaxHistory, and periodically compacts the journal down to
+// the retained set so the log tracks the same bound; callers hold
+// s.mu.
 func (s *Server) evictHistoryLocked() {
 	finished := len(s.order) - s.active
 	if finished <= s.opts.MaxHistory {
@@ -409,24 +640,46 @@ func (s *Server) evictHistoryLocked() {
 	}
 	evict := finished - s.opts.MaxHistory
 	kept := s.order[:0]
+	evicted := 0
 	for _, id := range s.order {
-		if evict > 0 && s.jobs[id].terminal() {
+		if evict > 0 && s.jobs[id].evictable() {
 			delete(s.jobs, id)
 			evict--
+			evicted++
 			continue
 		}
 		kept = append(kept, id)
 	}
 	s.order = kept
+	if evicted == 0 || s.opts.Journal == nil {
+		return
+	}
+	// Compact once a quarter of the history bound has churned:
+	// amortized O(1) records of rewrite per finished job, while the
+	// journal never holds more than ~MaxHistory + MaxHistory/4 + active
+	// jobs. Keep everything still registered or mid-admission.
+	s.evictedSinceCompact += evicted
+	if s.evictedSinceCompact*4 < s.opts.MaxHistory {
+		return
+	}
+	s.evictedSinceCompact = 0
+	_ = s.opts.Journal.Compact(func(id string) bool {
+		if _, ok := s.jobs[id]; ok {
+			return true
+		}
+		_, ok := s.admitting[id]
+		return ok
+	})
 }
 
 // completedJob registers a job that is already done — a fit answered
 // from the release cache. It never held a queue slot or admission
 // debit, so only the history bound applies; registering it keeps the
-// jobs API uniform (the hit is pollable and listed like any fit).
+// jobs API uniform (the hit is pollable and listed like any fit). The
+// single done record it journals (async — no debit rides on it) is
+// what lets the hit answer by job id across restarts and be evicted.
 func (s *Server) completedJob(kind string, result any) *job {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.next++
 	j := &job{
 		id:     fmt.Sprintf("job-%d", s.next),
@@ -437,7 +690,11 @@ func (s *Server) completedJob(kind string, result any) *job {
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+	s.journalTerminal(j, false)
+	s.mu.Lock()
 	s.evictHistoryLocked()
+	s.mu.Unlock()
 	return j
 }
 

@@ -2,9 +2,10 @@
 # Runs the perf-trajectory benchmarks (graph construction, KronFit
 # Metropolis, ball dropping — the hot paths optimized in PR 2 — plus
 # PR 3's pipeline-overhead pairs, PR 4's mechanism-dispatch pairs,
-# PR 5's dataset text-parse vs binary-load pairs and PR 6's release
-# cache cold-fit vs cached-fit pairs) and writes their numbers to
-# BENCH_6.json so future PRs have a recorded trajectory to compare
+# PR 5's dataset text-parse vs binary-load pairs, PR 6's release
+# cache cold-fit vs cached-fit pairs and PR 7's journal plain vs
+# journaled job-lifecycle pairs) and writes their numbers to
+# BENCH_7.json so future PRs have a recorded trajectory to compare
 # against.
 #
 # Usage: scripts/bench.sh [output.json]
@@ -22,6 +23,12 @@
 #               repetition count (default 3) for the ReleaseCache
 #               family: the cached leg is ~0.1 ms, so a min-of-three
 #               keeps the cached_over_cold speedup noise-robust
+#   JOURNAL_COUNT
+#               repetition count (default 3) for the JournalOverhead
+#               family: the journal's per-job cost is two fsyncs (a
+#               fixed handful of ms) against a ~1.4 s fit, so a
+#               min-of-three keeps the journal_over_plain ratio
+#               noise-robust
 #   BASELINE    optional path to a previous BENCH_*.json whose ns/op
 #               numbers become the "baseline_ns_op" fields; without it,
 #               the pre-PR-2 numbers hardcoded below (sort.Slice Build,
@@ -50,11 +57,17 @@
 # paired into a "release_cache" section: cached_over_cold is the
 # throughput ratio of re-serving a memoized private fit to computing
 # it (PR 6's acceptance bar is >= 20 at k=16 — same machine, same
-# question, so the ratio holds at any benchtime).
+# question, so the ratio holds at any benchtime). The JournalOverhead
+# family is paired into a "journal_overhead" section:
+# journal_over_plain is the ns/op ratio of a full job lifecycle
+# (admission through completion of a K=15 private fit over the HTTP
+# API) on a journaling server to the same lifecycle without a journal
+# (PR 7's acceptance bound is <= 1.02 — durability's two fsyncs per
+# job must disappear into the fit).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_6.json}"
+out="${1:-BENCH_7.json}"
 benchtime="${BENCHTIME:-3x}"
 dispatch_benchtime="${DISPATCH_BENCHTIME:-500x}"
 raw="$(mktemp)"
@@ -66,6 +79,8 @@ go test -run=NONE -bench='MechanismDispatch' \
   -benchtime="$dispatch_benchtime" -count="${DISPATCH_COUNT:-3}" . | tee -a "$raw" >&2
 go test -run=NONE -bench='ReleaseCache' \
   -benchtime="$benchtime" -count="${RELEASE_COUNT:-3}" . | tee -a "$raw" >&2
+go test -run=NONE -bench='JournalOverhead' \
+  -benchtime="$benchtime" -count="${JOURNAL_COUNT:-3}" . | tee -a "$raw" >&2
 
 awk -v benchtime="$benchtime" -v baseline_json="${BASELINE:-}" '
 BEGIN {
@@ -98,7 +113,7 @@ BEGIN {
   }
   n = 0
 }
-/^Benchmark(GraphBuild|KronFitMetropolis|BallDropN|PipelineOverhead|MechanismDispatch|DatasetLoad|ReleaseCache)\// {
+/^Benchmark(GraphBuild|KronFitMetropolis|BallDropN|PipelineOverhead|MechanismDispatch|DatasetLoad|ReleaseCache|JournalOverhead)\// {
   name = $1
   sub(/^Benchmark/, "", name)
   sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
@@ -130,7 +145,7 @@ END {
   "go env GOVERSION" | getline gover
   "date -u +%Y-%m-%dT%H:%M:%SZ" | getline stamp
   printf "{\n"
-  printf "  \"pr\": 6,\n"
+  printf "  \"pr\": 7,\n"
   printf "  \"generated\": \"%s\",\n", stamp
   printf "  \"go\": \"%s\",\n", gover
   printf "  \"benchtime\": \"%s\",\n", benchtime
@@ -240,6 +255,31 @@ END {
     cached = ns_by_name[stem "-cached"] + 0
     printf "    {\"question\": \"%s\", \"cold_ns_op\": %.0f, \"cached_ns_op\": %.0f, \"cold_qps\": %.2f, \"cached_qps\": %.2f, \"cached_over_cold\": %.1f}%s\n", \
       short, cold, cached, 1e9 / cold, 1e9 / cached, cold / cached, (i < nr - 1 ? "," : "")
+  }
+  printf "  ],\n"
+  # Matched plain/journal pairs -> durability overhead on the serving
+  # path (PR 7 acceptance bound: journal_over_plain <= 1.02).
+  printf "  \"journal_overhead\": [\n"
+  nj = 0
+  for (name in ns_by_name) {
+    if (name ~ /^JournalOverhead\/.*-plain$/) {
+      stem = name
+      sub(/-plain$/, "", stem)
+      jname = stem "-journal"
+      if (jname in ns_by_name) jspairs[nj++] = stem
+    }
+  }
+  for (i = 0; i < nj; i++)
+    for (j = i + 1; j < nj; j++)
+      if (jspairs[j] < jspairs[i]) { tmp = jspairs[i]; jspairs[i] = jspairs[j]; jspairs[j] = tmp }
+  for (i = 0; i < nj; i++) {
+    stem = jspairs[i]
+    short = stem
+    sub(/^JournalOverhead\//, "", short)
+    plain = ns_by_name[stem "-plain"] + 0
+    journal = ns_by_name[stem "-journal"] + 0
+    printf "    {\"job\": \"%s\", \"plain_ns_op\": %.0f, \"journal_ns_op\": %.0f, \"journal_over_plain\": %.4f}%s\n", \
+      short, plain, journal, journal / plain, (i < nj - 1 ? "," : "")
   }
   printf "  ]\n}\n"
 }' "$raw" > "$out"
