@@ -25,9 +25,12 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -39,6 +42,7 @@ import (
 	"dpkron/internal/degseq"
 	"dpkron/internal/dp"
 	"dpkron/internal/experiments"
+	"dpkron/internal/extsort"
 	"dpkron/internal/graph"
 	"dpkron/internal/journal"
 	"dpkron/internal/kronfit"
@@ -792,4 +796,156 @@ func BenchmarkJournalOverhead(b *testing.B) {
 		defer jnl.Close()
 		lifecycle(b, jnl)
 	})
+}
+
+// --- Out-of-core benchmarks (scripts/bench.sh → BENCH_8.json) ---
+//
+// MmapLoad pairs the cost of materializing a stored graph under the
+// two DPKG layouts: "v1decode" reads the varint file and decodes the
+// full CSR onto the heap (what every pre-v2 load paid), "v2open" maps
+// the fixed-width file and serves the CSR straight out of the page
+// cache — O(1) in the graph size. scripts/bench.sh computes the
+// v1_over_v2 speedups into BENCH_8.json's mmap_load section; the PR 8
+// acceptance bar is >= 10 at k=18.
+
+func BenchmarkMmapLoad(b *testing.B) {
+	for _, cfg := range []struct{ k, edges int }{
+		{16, 1 << 19}, {18, 1 << 21}, {20, 1 << 22},
+	} {
+		g := featureGraph(b, cfg.k, cfg.edges)
+		dir := b.TempDir()
+		v1Path := filepath.Join(dir, "g.v1.dpkg")
+		v2Path := filepath.Join(dir, "g.v2.dpkg")
+		v1 := dataset.Marshal(g)
+		v2 := dataset.MarshalV2(g)
+		if err := os.WriteFile(v1Path, v1, 0o644); err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(v2Path, v2, 0o644); err != nil {
+			b.Fatal(err)
+		}
+
+		b.Run(fmt.Sprintf("K=%d-v1decode", cfg.k), func(b *testing.B) {
+			b.SetBytes(int64(len(v1)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				data, err := os.ReadFile(v1Path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				got, err := dataset.Unmarshal(data)
+				if err != nil || got.NumEdges() != g.NumEdges() {
+					b.Fatal("bad decode", err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("K=%d-v2open", cfg.k), func(b *testing.B) {
+			b.SetBytes(int64(len(v2)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				got, _, err := dataset.OpenMapped(v2Path)
+				if err != nil || got.NumEdges() != g.NumEdges() {
+					b.Fatal("bad open", err)
+				}
+			}
+			// Mappings are reclaimed by finalizer; collect them before the
+			// next leg so they never pile up across a long benchtime.
+			b.StopTimer()
+			runtime.GC()
+		})
+	}
+}
+
+// BenchmarkStreamingGenerate pairs the two generate-to-store routes on
+// identical sampling work: "inmem" materializes the full ball-drop
+// sample as a CSR graph and then encodes it (the historical route),
+// "streamed" spills sampled keys through the external sorter and
+// writes the v2 file in one bounded-memory pass. Besides ns/op, each
+// leg reports its peak heap growth ("heap-peak-bytes", measured by a
+// HeapInuse sampler) — the number the streaming path exists to bound.
+// scripts/bench.sh computes streamed_over_inmem heap ratios into
+// BENCH_8.json's streaming_generate section; the PR 8 acceptance bar
+// is <= 0.25 at k=20, with k=22/24 recorded as the out-of-core points.
+func BenchmarkStreamingGenerate(b *testing.B) {
+	for _, cfg := range []struct{ k, edges int }{
+		{20, 1 << 23}, {22, 1 << 23}, {24, 1 << 24},
+	} {
+		m, err := skg.NewModel(skg.Initiator{A: 0.99, B: 0.45, C: 0.25}, cfg.k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		leg := func(b *testing.B, streamed bool) {
+			st, err := dataset.Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			runtime.GC()
+			var base runtime.MemStats
+			runtime.ReadMemStats(&base)
+			var peak atomic.Uint64
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var ms runtime.MemStats
+				for {
+					select {
+					case <-stop:
+						return
+					case <-time.After(10 * time.Millisecond):
+						runtime.ReadMemStats(&ms)
+						if ms.HeapInuse > peak.Load() {
+							peak.Store(ms.HeapInuse)
+						}
+					}
+				}
+			}()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// A fresh seed per iteration: the store dedupes identical
+				// content before writing, which would turn every iteration
+				// after the first into a no-op.
+				rng := randx.New(uint64(8000 + i))
+				var meta dataset.Meta
+				if streamed {
+					sorter, err := extsort.NewTemp(nil, 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					es, err := m.StreamBallDropNCtx(liveRun(b, 0), rng, cfg.edges, sorter)
+					if err != nil {
+						b.Fatal(err)
+					}
+					meta, _, err = st.PutStream(es, "bench", "generated")
+					if err != nil {
+						b.Fatal(err)
+					}
+					es.Close()
+					sorter.RemoveAll()
+				} else {
+					g := m.SampleBallDropNWorkers(rng, cfg.edges, 0)
+					meta, _, err = st.PutFormat(g, "bench", "generated", 2)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				if meta.Edges != cfg.edges {
+					b.Fatalf("stored %d edges, want %d", meta.Edges, cfg.edges)
+				}
+			}
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
+			grew := int64(peak.Load()) - int64(base.HeapInuse)
+			if grew < 0 {
+				grew = 0
+			}
+			b.ReportMetric(float64(grew), "heap-peak-bytes")
+			runtime.GC()
+		}
+		b.Run(fmt.Sprintf("K=%d-inmem", cfg.k), func(b *testing.B) { leg(b, false) })
+		b.Run(fmt.Sprintf("K=%d-streamed", cfg.k), func(b *testing.B) { leg(b, true) })
+	}
 }

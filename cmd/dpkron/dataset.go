@@ -13,17 +13,20 @@ import (
 
 // cmdDataset manages the persistent dataset store: `import` ingests a
 // graph (SNAP text, gzip, Matrix Market or DPKG binary — sniffed) under
-// its content-addressed id, `list`/`info` inspect the stored metadata,
-// `export` re-emits canonical edge-list text, and `rm` deletes. The
-// same -store directory drives `fit -store`/`stats -store` (where -in
-// may name a stored id) and `serve -store` (fit-by-id over HTTP).
+// its content-addressed id, `list`/`info` inspect the stored metadata
+// and on-disk layout, `export` re-emits canonical edge-list text,
+// `convert` rewrites a dataset between the compact v1 and mmap-ready
+// v2 layouts in place, and `rm` deletes. The same -store directory
+// drives `fit -store`/`stats -store` (where -in may name a stored id)
+// and `serve -store` (fit-by-id over HTTP).
 func cmdDataset(args []string) error {
 	fs := newFlagSet("dataset")
 	storeDir := fs.String("store", "", "dataset store directory (required)")
 	in := fs.String("in", "", "input file, or - for stdin (import)")
 	name := fs.String("name", "", "label for the imported dataset (import)")
-	id := fs.String("id", "", "dataset id (required for info/export/rm)")
+	id := fs.String("id", "", "dataset id (required for info/export/convert/rm)")
 	out := fs.String("out", "", "output file (export; default stdout)")
+	format := fs.String("format", "", "on-disk layout: v1 (compact) or v2 (mmap-ready; import default v1, required for convert)")
 	action := ""
 	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
 		action, args = args[0], args[1:]
@@ -32,21 +35,34 @@ func cmdDataset(args []string) error {
 		return err
 	}
 	switch action {
-	case "import", "list", "info", "export", "rm":
+	case "import", "list", "info", "export", "convert", "rm":
 	case "":
-		return usagef(fs, "an action is required (import, list, info, export or rm)")
+		return usagef(fs, "an action is required (import, list, info, export, convert or rm)")
 	default:
-		return usagef(fs, "unknown action %q (want import, list, info, export or rm)", action)
+		return usagef(fs, "unknown action %q (want import, list, info, export, convert or rm)", action)
 	}
 	if *storeDir == "" {
 		return usagef(fs, "-store is required")
 	}
-	needID := action == "info" || action == "export" || action == "rm"
+	needID := action == "info" || action == "export" || action == "rm" || action == "convert"
 	if needID && *id == "" {
 		return usagef(fs, "-id is required for %s", action)
 	}
 	if action == "import" && *in == "" {
 		return usagef(fs, "-in is required for import")
+	}
+	layout := 0
+	switch strings.ToLower(*format) {
+	case "":
+	case "v1", "1":
+		layout = 1
+	case "v2", "2":
+		layout = 2
+	default:
+		return usagef(fs, "unknown -format %q (want v1 or v2)", *format)
+	}
+	if action == "convert" && layout == 0 {
+		return usagef(fs, "-format is required for convert")
 	}
 	st, err := dataset.Open(*storeDir)
 	if err != nil {
@@ -67,12 +83,15 @@ func cmdDataset(args []string) error {
 		if label == "" && *in != "-" {
 			label = *in
 		}
-		m, err := st.ImportReader(r, label, dataset.DecodeOptions{})
+		if layout == 0 {
+			layout = 1
+		}
+		m, err := st.ImportReaderFormat(r, label, dataset.DecodeOptions{}, layout)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("imported %s: %d nodes, %d edges (%s, %d bytes)\n",
-			m.ID, m.Nodes, m.Edges, m.Source, m.Bytes)
+		fmt.Printf("imported %s: %d nodes, %d edges (%s, v%d, %d bytes)\n",
+			m.ID, m.Nodes, m.Edges, m.Source, max(m.Format, 1), m.Bytes)
 	case "list":
 		list, err := st.List()
 		if err != nil {
@@ -91,8 +110,22 @@ func cmdDataset(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("id:       %s\nname:     %s\nnodes:    %d\nedges:    %d\nsource:   %s\nimported: %s\nbytes:    %d\n",
-			m.ID, m.Name, m.Nodes, m.Edges, m.Source, m.Imported.Format("2006-01-02T15:04:05Z"), m.Bytes)
+		fmt.Printf("id:       %s\nname:     %s\nnodes:    %d\nedges:    %d\nsource:   %s\nimported: %s\n",
+			m.ID, m.Name, m.Nodes, m.Edges, m.Source, m.Imported.Format("2006-01-02T15:04:05Z"))
+		// The layout facts come from sniffing the live file, not the
+		// sidecar, so a converted or hand-replaced graph reports what a
+		// Load would actually see.
+		fi, err := st.FileInfo(*id)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("bytes:    %d\nformat:   v%d\nmmap:     %v\n", fi.Bytes, fi.Format, fi.Mmap)
+	case "convert":
+		m, err := st.Convert(*id, layout)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("converted %s to v%d (%d bytes)\n", m.ID, m.Format, m.Bytes)
 	case "export":
 		w := os.Stdout
 		if *out != "" {

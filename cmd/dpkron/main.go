@@ -8,7 +8,7 @@
 //	dpkron table1  [-eps E] [-delta D] [-seed S]
 //	dpkron figure  -dataset NAME [-expected N] [-csv FILE] [-plot]
 //	dpkron fit     -in FILE|-|ID [-store DIR] [-method private|mom|mle] [-eps E] [-delta D] [-k K] [-release-cache DIR]
-//	dpkron generate -a A -b B -c C -k K [-out FILE] [-method exact|balldrop]
+//	dpkron generate -a A -b B -c C -k K [-out FILE | -store DIR [-name S]] [-method exact|balldrop]
 //	dpkron stats   -in FILE|-|ID [-store DIR]
 //	dpkron sweep   [-dataset NAME] [-trials N]
 //	dpkron ssgrowth [-kmin K] [-kmax K]
@@ -16,7 +16,7 @@
 //	dpkron serve   [-addr HOST:PORT] [-max-jobs N] [-ledger FILE] [-store DIR] [-release-cache DIR] [-journal FILE] [-drain-timeout D]
 //	dpkron job     <list|show|wait|cancel> -server URL [-id ID]
 //	dpkron budget  <show|set|reset> -ledger FILE [-dataset ID] [-eps E] [-delta D]
-//	dpkron dataset <import|list|info|export|rm> -store DIR [-in FILE|-] [-id ID] [-name S] [-out FILE]
+//	dpkron dataset <import|list|info|export|convert|rm> -store DIR [-in FILE|-] [-id ID] [-name S] [-out FILE] [-format v1|v2]
 //	dpkron cache   <list|info|rm> -dir DIR [-id ID]
 //	dpkron datasets
 //
@@ -58,6 +58,7 @@ import (
 	"dpkron/internal/dataset"
 	"dpkron/internal/dp"
 	"dpkron/internal/experiments"
+	"dpkron/internal/extsort"
 	"dpkron/internal/graph"
 	"dpkron/internal/journal"
 	"dpkron/internal/kronfit"
@@ -233,7 +234,7 @@ commands:
   table1     regenerate the paper's Table 1 (three estimators, four graphs)
   figure     regenerate a figure (five statistics panels for one dataset)
   fit        estimate initiator parameters for an edge-list graph
-  generate   sample a synthetic SKG
+  generate   sample a synthetic SKG (to an edge list, or streamed into a store)
   stats      print the matching features and summary statistics of a graph
   sweep      privacy-utility sweep over epsilon
   ssgrowth   smooth sensitivity of triangles vs graph size
@@ -241,7 +242,7 @@ commands:
   serve      run the HTTP/JSON estimation job service
   job        list, show, wait for or cancel jobs on a running server
   budget     show, set or reset a privacy-budget ledger
-  dataset    import, list, inspect, export or remove stored datasets
+  dataset    import, list, inspect, export, convert or remove stored datasets
   cache      list, inspect or remove cached private-fit releases
   datasets   list the built-in evaluation datasets
 
@@ -460,6 +461,8 @@ func cmdGenerate(args []string) error {
 	out := fs.String("out", "", "output edge-list file (default stdout)")
 	method := fs.String("method", "auto", "exact | balldrop | auto")
 	seed := fs.Uint64("seed", 1, "random seed")
+	storeDir := fs.String("store", "", "stream the sample into this dataset store (bounded memory, mmap-ready v2 file) instead of writing an edge list")
+	name := fs.String("name", "", "label for the stored dataset (with -store)")
 	pf := addPipeFlags(fs)
 	if err := parse(fs, args); err != nil {
 		return err
@@ -471,6 +474,51 @@ func cmdGenerate(args []string) error {
 	run, cancel := pf.newRun()
 	defer cancel()
 	rng := randx.New(*seed)
+	if *storeDir != "" {
+		// Generate-to-store streams the sampled edges through an external
+		// sort straight into the store's v2 encoder: the edge set never
+		// materializes in memory, so k is bounded by disk, not RAM. The
+		// stored graph is bit-identical to the in-memory sampler's output
+		// for the same seed.
+		if *out != "" {
+			return usagef(fs, "-out and -store are mutually exclusive (use `dpkron dataset export` to get an edge list from the store)")
+		}
+		st, err := dataset.Open(*storeDir)
+		if err != nil {
+			return err
+		}
+		sorter, err := extsort.NewTemp(nil, 0)
+		if err != nil {
+			return err
+		}
+		defer sorter.RemoveAll()
+		var es *skg.EdgeStream
+		switch strings.ToLower(*method) {
+		case "exact":
+			es, err = m.StreamExactCtx(run, rng, sorter)
+		case "balldrop":
+			es, err = m.StreamBallDropCtx(run, rng, sorter)
+		case "auto":
+			es, err = m.StreamCtx(run, rng, sorter)
+		default:
+			return usagef(fs, "unknown method %q", *method)
+		}
+		if err != nil {
+			return err
+		}
+		defer es.Close()
+		meta, created, err := st.PutStream(es, *name, "generated")
+		if err != nil {
+			return err
+		}
+		verb := "stored"
+		if !created {
+			verb = "already stored as"
+		}
+		fmt.Printf("%s %s: %d nodes, %d edges (v%d, %d bytes)\n",
+			verb, meta.ID, meta.Nodes, meta.Edges, meta.Format, meta.Bytes)
+		return nil
+	}
 	var g *graph.Graph
 	switch strings.ToLower(*method) {
 	case "exact":

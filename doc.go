@@ -105,4 +105,20 @@
 // `dpkron serve -journal FILE` wires it up, and SIGTERM drains
 // gracefully: admission refused with Retry-After, running jobs
 // finished or cancelled into the journal, exit 0.
+//
+// # Out-of-core scale
+//
+// The dataset store holds graphs in two interchangeable binary
+// layouts: the compact varint DPKG v1, and the mmap-friendly DPKG v2
+// — fixed-width aligned CSR arrays behind a self-checksummed header —
+// which a store Load opens in O(1) by mapping the file and serving
+// the adjacency straight out of the page cache (internal/mmapfile;
+// platforms without mmap decode the same bytes onto the heap).
+// Generation scales the same way: `dpkron generate -store` and the
+// server's store-and-omit-edges generate jobs stream sampled edges
+// through a bounded-memory external sort-and-dedup (internal/extsort)
+// into a one-pass v2 encoder, so peak residency is O(nodes), not
+// O(edges). The streamed sampler consumes the same random streams as
+// the in-memory one — for a fixed seed the stored dataset is
+// bit-identical either way, down to its content-addressed id.
 package dpkron

@@ -13,6 +13,7 @@ import (
 func FuzzDatasetRoundTrip(f *testing.F) {
 	for _, g := range testGraphs(f) {
 		f.Add(Marshal(g))
+		f.Add(MarshalV2(g)) // the mmap layout shares the decode entry points
 	}
 	f.Add([]byte{})
 	f.Add([]byte("DPKG"))

@@ -1,0 +1,308 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+
+	"dpkron/internal/accountant"
+	"dpkron/internal/extsort"
+	"dpkron/internal/faultfs"
+	"dpkron/internal/graph"
+)
+
+// sliceEdgeSource adapts an in-memory graph to the EdgeSource
+// interface by spilling its packed edges through a throwaway sorter —
+// the test stand-in for a streaming sampler.
+type sliceEdgeSource struct {
+	n    int
+	keys []int64
+}
+
+func newSliceEdgeSource(tb testing.TB, g *graph.Graph) *sliceEdgeSource {
+	tb.Helper()
+	var keys []int64
+	g.ForEachEdge(func(u, v int) { keys = append(keys, int64(u)<<32|int64(v)) })
+	return &sliceEdgeSource{n: g.NumNodes(), keys: keys}
+}
+
+func (s *sliceEdgeSource) NumNodes() int { return s.n }
+
+func (s *sliceEdgeSource) Edges() (*extsort.Iterator, error) {
+	sorter, err := extsort.NewTemp(nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	w := sorter.Writer()
+	if err := w.AddSorted(s.keys); err != nil {
+		w.Close()
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	it, err := sorter.Merge()
+	// The spill dir leaks until process exit on the error path only;
+	// tests run in t.TempDir-adjacent temp space.
+	_ = err
+	return it, err
+}
+
+// TestPutStreamMatchesPut: the streaming ingest is a drop-in for
+// PutFormat(v2) — same content-addressed id, same metadata, and the
+// same file bytes, for every spill chunk size.
+func TestPutStreamMatchesPut(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		if g.NumNodes() == 0 {
+			continue // DatasetID of the empty graph is fine, but Put covers it
+		}
+		wantID := accountant.DatasetID(g)
+		wantBytes := MarshalV2(g)
+		for _, chunk := range []int{7, extsort.DefaultChunk} {
+			st, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, created, err := st.putStream(newSliceEdgeSource(t, g), "s", "streamed", chunk)
+			if err != nil {
+				t.Fatalf("%s (chunk %d): %v", name, chunk, err)
+			}
+			if !created {
+				t.Fatalf("%s: first PutStream reported existing", name)
+			}
+			if m.ID != wantID {
+				t.Fatalf("%s: streamed id %s, want %s", name, m.ID, wantID)
+			}
+			if m.Nodes != g.NumNodes() || m.Edges != g.NumEdges() || m.Format != 2 {
+				t.Fatalf("%s: meta %+v does not describe the graph", name, m)
+			}
+			onDisk, err := os.ReadFile(st.graphPath(m.ID))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(onDisk, wantBytes) {
+				t.Fatalf("%s (chunk %d): streamed v2 file differs from MarshalV2", name, chunk)
+			}
+			back, err := st.Load(m.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !g.Equal(back) {
+				t.Fatalf("%s: loaded streamed graph differs", name)
+			}
+			// Re-streaming the identical graph is a no-op detected before
+			// any file write (the id forms during pass 1).
+			m2, created, err := st.putStream(newSliceEdgeSource(t, g), "s", "streamed", chunk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if created || m2.ID != m.ID {
+				t.Fatalf("%s: re-stream was not an idempotent no-op", name)
+			}
+		}
+	}
+}
+
+// TestPutStreamRejectsBadEdges: a source yielding out-of-range or
+// misordered node pairs fails with an error, not a corrupt dataset.
+func TestPutStreamRejectsBadEdges(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]*sliceEdgeSource{
+		"v-out-of-range": {n: 4, keys: []int64{int64(1)<<32 | 9}},
+		"self-loop":      {n: 4, keys: []int64{int64(2)<<32 | 2}},
+		"inverted":       {n: 4, keys: []int64{int64(3)<<32 | 1}},
+	}
+	for name, src := range cases {
+		if _, _, err := st.PutStream(src, "bad", "test"); err == nil {
+			t.Errorf("%s: PutStream accepted a hostile edge stream", name)
+		}
+	}
+}
+
+// TestPutStreamFaults: spill and commit failures during streaming
+// ingest surface as errors and leave no torn dataset behind.
+func TestPutStreamFaults(t *testing.T) {
+	g := testGraphs(t)["path"]
+	for fault, f := range map[string]faultfs.Fault{
+		"spill-write":  {Op: faultfs.OpWrite, Path: ".run", Short: 4},
+		"graph-rename": {Op: faultfs.OpRename, Path: graphExt},
+		"graph-write":  {Op: faultfs.OpWrite, Path: graphExt + ".tmp", Short: 8},
+		"merge-reopen": {Op: faultfs.OpOpen, Path: ".run", After: 2},
+		"meta-sync":    {Op: faultfs.OpSync, Path: metaExt},
+	} {
+		inj := faultfs.NewInjector(faultfs.OS).Fail(f)
+		st, err := OpenFS(inj, t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, err = st.putStream(newSliceEdgeSource(t, g), "f", "test", 3)
+		if !errors.Is(err, faultfs.ErrInjected) {
+			t.Errorf("%s: got %v, want ErrInjected", fault, err)
+		}
+		// Whatever failed, the store must not list a dataset whose graph
+		// file is absent or torn.
+		list, err := st.List()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range list {
+			if _, err := st.Load(m.ID); err != nil {
+				t.Errorf("%s: store lists %s but it does not load: %v", fault, m.ID, err)
+			}
+		}
+	}
+}
+
+// TestStoreCacheBudget: heap-decoded graphs are evicted oldest-first
+// past the byte budget, while the newest entry always survives.
+func TestStoreCacheBudget(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 2; i <= 4; i++ {
+		m, _, err := st.Put(graph.Complete(100*i), "", "test")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, m.ID)
+	}
+	for _, id := range ids {
+		if _, err := st.Load(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.mu.Lock()
+	var total int64
+	for id, e := range st.cache {
+		total += e.bytes
+		if e.bytes <= 0 {
+			t.Errorf("heap entry %s carries %d bytes", id, e.bytes)
+		}
+	}
+	if total != st.cacheBytes {
+		t.Errorf("cacheBytes %d != sum of entries %d", st.cacheBytes, total)
+	}
+	st.mu.Unlock()
+
+	// Shrink the budget by loading under a tiny artificial one: evict by
+	// hand through the same code path Delete uses, then confirm the
+	// accounting drains to zero.
+	for _, id := range ids {
+		st.mu.Lock()
+		st.evictLocked(id)
+		st.mu.Unlock()
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.cacheBytes != 0 || len(st.cache) != 0 || len(st.order) != 0 {
+		t.Errorf("after evicting everything: bytes=%d cache=%d order=%d",
+			st.cacheBytes, len(st.cache), len(st.order))
+	}
+}
+
+// TestStoreMmapLoadAndCache: a v2 dataset loads via mmap on supported
+// platforms, is cached outside the byte budget, and keeps serving an
+// already-loaded graph after deletion (the mapping outlives the file).
+func TestStoreMmapLoadAndCache(t *testing.T) {
+	g := testGraphs(t)["skg-k10"]
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := st.PutFormat(g, "v2", "test", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := st.FileInfo(m.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Format != 2 || fi.Bytes != m.Bytes {
+		t.Fatalf("FileInfo %+v disagrees with meta %+v", fi, m)
+	}
+	loaded, err := st.Load(m.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(loaded) {
+		t.Fatal("v2 load changed the graph")
+	}
+	st.mu.Lock()
+	e := st.cache[m.ID]
+	inOrder := false
+	for _, id := range st.order {
+		if id == m.ID {
+			inOrder = true
+		}
+	}
+	st.mu.Unlock()
+	if fi.Mmap {
+		if e.bytes != 0 || inOrder {
+			t.Errorf("mapped graph charged to the heap budget (bytes=%d, inOrder=%v)", e.bytes, inOrder)
+		}
+	} else if e.bytes == 0 {
+		t.Error("heap-decoded v2 graph not charged to the budget")
+	}
+	if err := st.Delete(m.ID); err != nil {
+		t.Fatal(err)
+	}
+	// The held reference stays fully readable after deletion: on unix
+	// the kernel keeps the unlinked inode alive under the mapping.
+	deg := 0
+	loaded.ForEachEdge(func(u, v int) { deg++ })
+	if deg != g.NumEdges() {
+		t.Fatalf("post-delete iteration saw %d edges, want %d", deg, g.NumEdges())
+	}
+}
+
+// TestStoreConvert exercises both conversion directions against the
+// same id and checks Load works after each rewrite.
+func TestStoreConvert(t *testing.T) {
+	g := testGraphs(t)["skg-balldrop"]
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := st.Put(g, "conv", "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range []int{2, 2, 1, 2, 1} { // includes no-op repeats
+		cm, err := st.Convert(m.ID, format)
+		if err != nil {
+			t.Fatalf("convert to v%d: %v", format, err)
+		}
+		if cm.ID != m.ID {
+			t.Fatalf("convert changed the id: %s -> %s", m.ID, cm.ID)
+		}
+		if cm.Format != format {
+			t.Fatalf("convert to v%d reported format %d", format, cm.Format)
+		}
+		fi, err := st.FileInfo(m.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Format != format || fi.Bytes != cm.Bytes {
+			t.Fatalf("after convert to v%d: FileInfo %+v vs meta %+v", format, fi, cm)
+		}
+		back, err := st.Load(m.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Equal(back) {
+			t.Fatalf("graph changed across conversion to v%d", format)
+		}
+	}
+	if _, err := st.Convert(m.ID, 3); err == nil {
+		t.Error("convert accepted an unknown format")
+	}
+	if _, err := st.Convert("ds-0000000000000000", 2); !errors.Is(err, ErrNotFound) {
+		t.Errorf("convert of a missing dataset: got %v, want ErrNotFound", err)
+	}
+}

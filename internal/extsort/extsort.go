@@ -1,0 +1,549 @@
+// Package extsort sorts and deduplicates streams of int64 keys in
+// bounded memory: keys accumulate in fixed-size chunks that are sorted
+// and spilled to disk as runs, and a k-way merge streams the unique
+// ascending sequence back. It is the machinery behind streaming
+// generate-to-store — the sampled edge keys of a graph too large to
+// hold are spilled shard by shard and merged straight into the v2
+// on-disk encoder, so peak memory is O(chunk), not O(edges).
+//
+// All spill I/O goes through faultfs.FS, so the fault-injection tests
+// that cover the durable stores cover the spill files too: a torn
+// write or failed rename surfaces as an error from Add/Merge, never as
+// a silently wrong edge set.
+//
+// Keys are packed undirected edges (int64(u)<<32 | v, u < v) in
+// practice, but nothing here depends on that: any int64 ordering
+// works.
+package extsort
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"slices"
+	"sync"
+
+	"dpkron/internal/faultfs"
+)
+
+// DefaultChunk is the spill threshold in keys (8 MiB of int64s) when
+// New is given chunkKeys <= 0.
+const DefaultChunk = 1 << 20
+
+// Sorter accumulates keys through per-goroutine Writers and merges the
+// spilled runs. A Sorter owns a directory of run files; Remove deletes
+// them. Methods on the Sorter are safe for concurrent use; each Writer
+// is for a single goroutine.
+type Sorter struct {
+	fs    faultfs.FS
+	dir   string
+	chunk int
+
+	mu      sync.Mutex
+	runs    []runInfo
+	seq     int
+	writers int
+}
+
+type runInfo struct {
+	path  string
+	count int64
+}
+
+// New returns a Sorter spilling into dir (created if needed) through
+// fsys. chunkKeys bounds the in-memory buffer of each Writer;
+// <= 0 selects DefaultChunk.
+func New(fsys faultfs.FS, dir string, chunkKeys int) (*Sorter, error) {
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
+	if chunkKeys <= 0 {
+		chunkKeys = DefaultChunk
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("extsort: creating spill dir: %w", err)
+	}
+	return &Sorter{fs: fsys, dir: dir, chunk: chunkKeys}, nil
+}
+
+// NewTemp is New in a fresh os.MkdirTemp directory. RemoveAll deletes
+// the directory along with the runs.
+func NewTemp(fsys faultfs.FS, chunkKeys int) (*Sorter, error) {
+	dir, err := os.MkdirTemp("", "dpkron-extsort-")
+	if err != nil {
+		return nil, fmt.Errorf("extsort: creating spill dir: %w", err)
+	}
+	return New(fsys, dir, chunkKeys)
+}
+
+// Dir returns the spill directory.
+func (s *Sorter) Dir() string { return s.dir }
+
+// Remove deletes every run file the sorter has produced. Missing files
+// (already consolidated away) are ignored.
+func (s *Sorter) Remove() error {
+	s.mu.Lock()
+	runs := s.runs
+	s.runs = nil
+	s.mu.Unlock()
+	var first error
+	for _, r := range runs {
+		if err := s.fs.Remove(r.path); err != nil && !os.IsNotExist(err) && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// RemoveAll is Remove plus deletion of the spill directory itself.
+func (s *Sorter) RemoveAll() error {
+	err := s.Remove()
+	if rmErr := os.RemoveAll(s.dir); rmErr != nil && err == nil {
+		err = rmErr
+	}
+	return err
+}
+
+// nextPath reserves a fresh run-file path.
+func (s *Sorter) nextPath(prefix string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	return filepath.Join(s.dir, fmt.Sprintf("%s-%06d.run", prefix, s.seq))
+}
+
+// addRun registers a finished run file.
+func (s *Sorter) addRun(path string, count int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.runs = append(s.runs, runInfo{path: path, count: count})
+}
+
+// writeRun writes sorted keys as one run file: raw little-endian
+// int64s, buffered, no fsync (spill data does not survive a crash by
+// design — a failed run aborts the whole operation instead).
+func (s *Sorter) writeRun(path string, keys []int64) error {
+	f, err := s.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		return fmt.Errorf("extsort: creating run: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	var kb [8]byte
+	for _, k := range keys {
+		binary.LittleEndian.PutUint64(kb[:], uint64(k))
+		if _, err := bw.Write(kb[:]); err != nil {
+			f.Close()
+			return fmt.Errorf("extsort: writing run: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("extsort: writing run: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("extsort: closing run: %w", err)
+	}
+	return nil
+}
+
+// spill sorts (unless presorted), deduplicates, and writes keys as a
+// new run. It takes ownership of keys for the duration of the call.
+func (s *Sorter) spill(keys []int64, presorted bool) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	if !presorted {
+		slices.Sort(keys)
+		keys = slices.Compact(keys)
+	}
+	path := s.nextPath("run")
+	if err := s.writeRun(path, keys); err != nil {
+		return err
+	}
+	s.addRun(path, int64(len(keys)))
+	return nil
+}
+
+// Writer returns a new chunk-buffered writer. Each concurrent
+// goroutine feeding the sorter takes its own Writer; Close flushes the
+// final partial chunk. All Writers must be closed before Merge or
+// Consolidate.
+func (s *Sorter) Writer() *Writer {
+	s.mu.Lock()
+	s.writers++
+	s.mu.Unlock()
+	return &Writer{s: s}
+}
+
+// Writer accumulates keys for one goroutine, spilling a sorted run
+// whenever its chunk fills. Not safe for concurrent use.
+type Writer struct {
+	s      *Sorter
+	buf    []int64
+	closed bool
+}
+
+// Add buffers one key, spilling if the chunk is full.
+func (w *Writer) Add(key int64) error {
+	if w.buf == nil {
+		w.buf = make([]int64, 0, w.s.chunk)
+	}
+	w.buf = append(w.buf, key)
+	if len(w.buf) >= w.s.chunk {
+		err := w.s.spill(w.buf, false)
+		w.buf = w.buf[:0]
+		return err
+	}
+	return nil
+}
+
+// AddSorted spills an already sorted, duplicate-free slice directly as
+// one run, bypassing the chunk buffer. The slice is not retained.
+func (w *Writer) AddSorted(keys []int64) error {
+	return w.s.spill(keys, true)
+}
+
+// Close flushes the remaining partial chunk. Idempotent.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	err := w.s.spill(w.buf, false)
+	w.buf = nil
+	w.s.mu.Lock()
+	w.s.writers--
+	w.s.mu.Unlock()
+	return err
+}
+
+// Merge returns an iterator over the unique ascending union of every
+// spilled run. All Writers must be closed first.
+func (s *Sorter) Merge() (*Iterator, error) {
+	s.mu.Lock()
+	if s.writers != 0 {
+		n := s.writers
+		s.mu.Unlock()
+		return nil, fmt.Errorf("extsort: Merge with %d writers still open", n)
+	}
+	runs := append([]runInfo(nil), s.runs...)
+	s.mu.Unlock()
+	srcs := make([]source, 0, len(runs))
+	for _, r := range runs {
+		fs, err := newFileSource(s.fs, r.path, r.count)
+		if err != nil {
+			for _, src := range srcs {
+				src.close()
+			}
+			return nil, err
+		}
+		srcs = append(srcs, fs)
+	}
+	return newIterator(srcs), nil
+}
+
+// Consolidate merges every spilled run into a single on-disk run
+// (written via tmp + rename, so a failure leaves no half-merged file
+// masquerading as the result), deletes the inputs, and returns a
+// handle supporting sequential iteration and binary-searched
+// membership probes. The sorter afterwards holds just the consolidated
+// run.
+func (s *Sorter) Consolidate() (*Run, error) {
+	it, err := s.Merge()
+	if err != nil {
+		return nil, err
+	}
+	path := s.nextPath("merged")
+	tmp := path + ".tmp"
+	f, err := s.fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		it.Close()
+		return nil, fmt.Errorf("extsort: creating merged run: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	var count int64
+	var kb [8]byte
+	for {
+		k, ok, err := it.Next()
+		if err != nil {
+			f.Close()
+			it.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		binary.LittleEndian.PutUint64(kb[:], uint64(k))
+		if _, err := bw.Write(kb[:]); err != nil {
+			f.Close()
+			it.Close()
+			return nil, fmt.Errorf("extsort: writing merged run: %w", err)
+		}
+		count++
+	}
+	it.Close()
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("extsort: writing merged run: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return nil, fmt.Errorf("extsort: closing merged run: %w", err)
+	}
+	if err := s.fs.Rename(tmp, path); err != nil {
+		return nil, fmt.Errorf("extsort: committing merged run: %w", err)
+	}
+	// The inputs are subsumed; drop them and track only the merged run.
+	s.mu.Lock()
+	old := s.runs
+	s.runs = []runInfo{{path: path, count: count}}
+	s.mu.Unlock()
+	for _, r := range old {
+		_ = s.fs.Remove(r.path)
+	}
+	return &Run{fs: s.fs, path: path, count: count}, nil
+}
+
+// Run is one sorted, duplicate-free on-disk run: the product of
+// Consolidate. It supports repeated sequential iteration and
+// random-access membership probes (the streaming ball-drop top-up's
+// exclude set lives here instead of on the heap).
+type Run struct {
+	fs    faultfs.FS
+	path  string
+	count int64
+
+	mu sync.Mutex
+	r  faultfs.Reader // lazily opened probe handle
+}
+
+// Count returns the number of keys in the run.
+func (r *Run) Count() int64 { return r.count }
+
+// Iter returns a fresh sequential iterator over the run.
+func (r *Run) Iter() (*Iterator, error) {
+	src, err := newFileSource(r.fs, r.path, r.count)
+	if err != nil {
+		return nil, err
+	}
+	return newIterator([]source{src}), nil
+}
+
+// IterWith returns an iterator over the unique ascending union of the
+// run and a sorted slice — how a streamed sample's disk-resident bulk
+// co-merges with its small in-memory top-up.
+func (r *Run) IterWith(extra []int64) (*Iterator, error) {
+	src, err := newFileSource(r.fs, r.path, r.count)
+	if err != nil {
+		return nil, err
+	}
+	return newIterator([]source{src, &sliceSource{keys: extra}}), nil
+}
+
+// Contains reports whether key is present, by binary search over the
+// run file (O(log n) 8-byte ReadAt probes against the page cache).
+func (r *Run) Contains(key int64) (bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.r == nil {
+		f, err := r.fs.Open(r.path)
+		if err != nil {
+			return false, fmt.Errorf("extsort: opening run for probes: %w", err)
+		}
+		r.r = f
+	}
+	lo, hi := int64(0), r.count
+	var kb [8]byte
+	for lo < hi {
+		mid := int64(uint64(lo+hi) >> 1)
+		if _, err := r.r.ReadAt(kb[:], mid*8); err != nil {
+			return false, fmt.Errorf("extsort: probing run: %w", err)
+		}
+		k := int64(binary.LittleEndian.Uint64(kb[:]))
+		switch {
+		case k == key:
+			return true, nil
+		case k < key:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return false, nil
+}
+
+// Close releases the probe handle, if open.
+func (r *Run) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.r == nil {
+		return nil
+	}
+	err := r.r.Close()
+	r.r = nil
+	return err
+}
+
+// source is one pull stream of ascending keys.
+type source interface {
+	next() (int64, bool, error)
+	close() error
+}
+
+type sliceSource struct {
+	keys []int64
+	pos  int
+}
+
+func (s *sliceSource) next() (int64, bool, error) {
+	if s.pos >= len(s.keys) {
+		return 0, false, nil
+	}
+	k := s.keys[s.pos]
+	s.pos++
+	return k, true, nil
+}
+
+func (s *sliceSource) close() error { return nil }
+
+type fileSource struct {
+	f         faultfs.Reader
+	br        *bufio.Reader
+	remaining int64
+}
+
+func newFileSource(fsys faultfs.FS, path string, count int64) (*fileSource, error) {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("extsort: opening run: %w", err)
+	}
+	return &fileSource{f: f, br: bufio.NewReaderSize(f, 1<<16), remaining: count}, nil
+}
+
+func (s *fileSource) next() (int64, bool, error) {
+	if s.remaining <= 0 {
+		return 0, false, nil
+	}
+	var kb [8]byte
+	if _, err := io.ReadFull(s.br, kb[:]); err != nil {
+		return 0, false, fmt.Errorf("extsort: reading run: %w", err)
+	}
+	s.remaining--
+	return int64(binary.LittleEndian.Uint64(kb[:])), true, nil
+}
+
+func (s *fileSource) close() error { return s.f.Close() }
+
+// Iterator streams the unique ascending union of its sources: a k-way
+// merge with duplicate suppression. Close releases the underlying run
+// files; Next after exhaustion keeps returning ok = false.
+type Iterator struct {
+	heads []head // min-ordered by key: heads[0] is next
+	last  int64
+	first bool
+	err   error
+}
+
+type head struct {
+	key int64
+	src source
+}
+
+func newIterator(srcs []source) *Iterator {
+	it := &Iterator{first: true}
+	for _, src := range srcs {
+		k, ok, err := src.next()
+		if err != nil {
+			it.err = err
+			src.close()
+			continue
+		}
+		if !ok {
+			src.close()
+			continue
+		}
+		it.push(head{key: k, src: src})
+	}
+	return it
+}
+
+// push inserts h into the binary heap.
+func (it *Iterator) push(h head) {
+	it.heads = append(it.heads, h)
+	i := len(it.heads) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if it.heads[parent].key <= it.heads[i].key {
+			break
+		}
+		it.heads[parent], it.heads[i] = it.heads[i], it.heads[parent]
+		i = parent
+	}
+}
+
+// pop removes the minimum head.
+func (it *Iterator) pop() head {
+	h := it.heads[0]
+	last := len(it.heads) - 1
+	it.heads[0] = it.heads[last]
+	it.heads = it.heads[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(it.heads) && it.heads[l].key < it.heads[min].key {
+			min = l
+		}
+		if r < len(it.heads) && it.heads[r].key < it.heads[min].key {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		it.heads[i], it.heads[min] = it.heads[min], it.heads[i]
+		i = min
+	}
+	return h
+}
+
+// Next returns the next unique key in ascending order.
+func (it *Iterator) Next() (int64, bool, error) {
+	if it.err != nil {
+		return 0, false, it.err
+	}
+	for len(it.heads) > 0 {
+		h := it.pop()
+		k, ok, err := h.src.next()
+		if err != nil {
+			it.err = err
+			h.src.close()
+			it.Close()
+			return 0, false, err
+		}
+		if ok {
+			it.push(head{key: k, src: h.src})
+		} else {
+			h.src.close()
+		}
+		if it.first || h.key != it.last {
+			it.first = false
+			it.last = h.key
+			return h.key, true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// Close releases every source still open.
+func (it *Iterator) Close() error {
+	var first error
+	for _, h := range it.heads {
+		if err := h.src.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	it.heads = nil
+	return first
+}

@@ -1,0 +1,261 @@
+package extsort
+
+import (
+	"errors"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"dpkron/internal/faultfs"
+)
+
+// drain pulls every key from it, failing the test on iterator errors.
+func drain(t *testing.T, it *Iterator) []int64 {
+	t.Helper()
+	var out []int64
+	for {
+		k, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, k)
+	}
+}
+
+// reference is the in-memory model the external sort must match.
+func reference(keys []int64) []int64 {
+	s := append([]int64(nil), keys...)
+	slices.Sort(s)
+	return slices.Compact(s)
+}
+
+func TestMergeMatchesReference(t *testing.T) {
+	for _, chunk := range []int{1, 2, 7, 64, 1 << 20} {
+		s, err := New(faultfs.OS, t.TempDir(), chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(chunk)))
+		var all []int64
+		w := s.Writer()
+		for i := 0; i < 500; i++ {
+			k := int64(rng.Intn(200)) // dense → many duplicates
+			all = append(all, k)
+			if err := w.Add(k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// A second writer contributes a pre-sorted run, as sampler shards do.
+		sorted := reference([]int64{5, 999, 1000, 1001, 5})
+		w2 := s.Writer()
+		if err := w2.AddSorted(sorted); err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, sorted...)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := w2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		it, err := s.Merge()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := drain(t, it)
+		it.Close()
+		if want := reference(all); !slices.Equal(got, want) {
+			t.Fatalf("chunk %d: merge produced %d keys, want %d", chunk, len(got), len(want))
+		}
+		s.RemoveAll()
+	}
+}
+
+func TestMergeRefusesOpenWriters(t *testing.T) {
+	s, err := New(faultfs.OS, t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.RemoveAll()
+	w := s.Writer()
+	if _, err := s.Merge(); err == nil {
+		t.Fatal("Merge succeeded with an open writer")
+	}
+	w.Close()
+	if _, err := s.Merge(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsolidateAndContains(t *testing.T) {
+	s, err := New(faultfs.OS, t.TempDir(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.RemoveAll()
+	w := s.Writer()
+	var want []int64
+	for i := int64(0); i < 1000; i += 3 {
+		want = append(want, i)
+		if err := w.Add(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	run, err := s.Consolidate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Close()
+	if run.Count() != int64(len(want)) {
+		t.Fatalf("Count = %d, want %d", run.Count(), len(want))
+	}
+	for i := int64(0); i < 1000; i++ {
+		got, err := run.Contains(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := i%3 == 0; got != want {
+			t.Fatalf("Contains(%d) = %v, want %v", i, got, want)
+		}
+	}
+	// Iteration after consolidation reproduces the full sequence, and
+	// IterWith splices in-memory extras into their sorted positions.
+	it, err := run.Iter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, it)
+	it.Close()
+	if !slices.Equal(got, want) {
+		t.Fatal("consolidated run iterates differently from its inputs")
+	}
+	itw, err := run.IterWith([]int64{-5, 4, 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotw := drain(t, itw)
+	itw.Close()
+	wantw := reference(append(append([]int64(nil), want...), -5, 4, 999))
+	if !slices.Equal(gotw, wantw) {
+		t.Fatal("IterWith merged incorrectly")
+	}
+}
+
+// TestSpillFaults proves spill-file I/O failures surface as errors —
+// a short write mid-run, a failed open, a failed rename during
+// consolidation — rather than producing a silently truncated edge set.
+func TestSpillFaults(t *testing.T) {
+	add := func(s *Sorter, n int) error {
+		w := s.Writer()
+		for i := 0; i < n; i++ {
+			if err := w.Add(int64(i * 7 % 50)); err != nil {
+				w.Close()
+				return err
+			}
+		}
+		return w.Close()
+	}
+	t.Run("short-write", func(t *testing.T) {
+		inj := faultfs.NewInjector(faultfs.OS).Fail(faultfs.Fault{Op: faultfs.OpWrite, Path: ".run", Short: 12})
+		s, err := New(inj, t.TempDir(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.RemoveAll()
+		if err := add(s, 100); !errors.Is(err, faultfs.ErrInjected) {
+			t.Fatalf("torn spill write surfaced as %v, want ErrInjected", err)
+		}
+	})
+	t.Run("open", func(t *testing.T) {
+		inj := faultfs.NewInjector(faultfs.OS).Fail(faultfs.Fault{Op: faultfs.OpOpen, Path: ".run"})
+		s, err := New(inj, t.TempDir(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.RemoveAll()
+		if err := add(s, 100); !errors.Is(err, faultfs.ErrInjected) {
+			t.Fatalf("failed spill open surfaced as %v, want ErrInjected", err)
+		}
+	})
+	t.Run("consolidate-rename", func(t *testing.T) {
+		inj := faultfs.NewInjector(faultfs.OS).Fail(faultfs.Fault{Op: faultfs.OpRename, Path: "merged"})
+		s, err := New(inj, t.TempDir(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.RemoveAll()
+		if err := add(s, 100); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Consolidate(); !errors.Is(err, faultfs.ErrInjected) {
+			t.Fatalf("failed consolidate rename surfaced as %v, want ErrInjected", err)
+		}
+	})
+	t.Run("merge-read", func(t *testing.T) {
+		inj := faultfs.NewInjector(faultfs.OS)
+		s, err := New(inj, t.TempDir(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.RemoveAll()
+		if err := add(s, 100); err != nil {
+			t.Fatal(err)
+		}
+		// Fail the read-side open of the first run during merge.
+		inj.Fail(faultfs.Fault{Op: faultfs.OpOpen, Path: ".run"})
+		if _, err := s.Merge(); !errors.Is(err, faultfs.ErrInjected) {
+			t.Fatalf("failed run open during merge surfaced as %v, want ErrInjected", err)
+		}
+	})
+}
+
+// FuzzMergeDedup drives the external sort with arbitrary key bytes and
+// chunk sizes and checks it against the in-memory reference.
+func FuzzMergeDedup(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, uint8(3))
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 0, 0, 0, 0}, uint8(1))
+	f.Fuzz(func(t *testing.T, raw []byte, chunk8 uint8) {
+		if len(raw) > 1<<12 {
+			return
+		}
+		chunk := int(chunk8%16) + 1
+		var keys []int64
+		for i := 0; i+8 <= len(raw); i += 8 {
+			var k int64
+			for j := 0; j < 8; j++ {
+				k = k<<8 | int64(raw[i+j])
+			}
+			keys = append(keys, k)
+		}
+		s, err := New(faultfs.OS, t.TempDir(), chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.RemoveAll()
+		w := s.Writer()
+		for _, k := range keys {
+			if err := w.Add(k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		it, err := s.Merge()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := drain(t, it)
+		it.Close()
+		if want := reference(keys); !slices.Equal(got, want) {
+			t.Fatalf("external sort diverged from reference: %d vs %d keys", len(got), len(want))
+		}
+	})
+}

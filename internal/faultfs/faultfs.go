@@ -38,10 +38,20 @@ type File interface {
 	Name() string
 }
 
+// Reader is the read side of a file: sequential reads plus random
+// access. The external-sort spill machinery streams runs back through
+// it, and binary-searches merged runs with ReadAt.
+type Reader interface {
+	io.ReadCloser
+	io.ReaderAt
+}
+
 // FS is the filesystem surface the durable stores write through. All
 // paths are OS paths, semantics match the corresponding os functions.
 type FS interface {
 	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Open opens a file for reading (os.Open semantics).
+	Open(name string) (Reader, error)
 	Rename(oldpath, newpath string) error
 	Remove(name string) error
 	ReadFile(name string) ([]byte, error)
@@ -63,6 +73,14 @@ func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
 	f, err := os.OpenFile(name, flag, perm)
 	if err != nil {
 		// Return a typed nil-free interface value only on success.
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Open(name string) (Reader, error) {
+	f, err := os.Open(name)
+	if err != nil {
 		return nil, err
 	}
 	return f, nil

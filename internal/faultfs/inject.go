@@ -162,6 +162,13 @@ func (i *Injector) OpenFile(name string, flag int, perm fs.FileMode) (File, erro
 	return &injectFile{inner: file, inj: i}, nil
 }
 
+func (i *Injector) Open(name string) (Reader, error) {
+	if f := i.check(OpOpen, name); f != nil {
+		return nil, f.err()
+	}
+	return i.inner.Open(name)
+}
+
 func (i *Injector) Rename(oldpath, newpath string) error {
 	if f := i.check(OpRename, oldpath+" -> "+newpath); f != nil {
 		return f.err()

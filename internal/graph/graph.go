@@ -24,6 +24,20 @@ type Graph struct {
 	adj []int32 // concatenated sorted neighbour lists; each edge appears twice
 }
 
+// CSR returns the graph's raw CSR arrays: off has length NumNodes()+1
+// and adj holds the concatenated sorted adjacency (each edge twice).
+// The slices alias internal storage and must not be modified.
+func (g *Graph) CSR() (off, adj []int32) { return g.off, g.adj }
+
+// FromCSR wraps externally owned CSR arrays as a Graph without
+// copying. The caller vouches for the invariants Validate checks
+// (monotone offsets, sorted symmetric adjacency, len(off) = n+1,
+// len(adj) = off[n]); the mmap-backed dataset loader is the intended
+// caller, keeping a stored graph's adjacency paged by the OS instead
+// of decoded onto the heap. The arrays must stay immutable and alive
+// for the life of the Graph.
+func FromCSR(off, adj []int32) *Graph { return &Graph{off: off, adj: adj} }
+
 // NumNodes returns the number of nodes.
 func (g *Graph) NumNodes() int {
 	if len(g.off) == 0 {

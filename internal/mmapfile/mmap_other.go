@@ -1,0 +1,13 @@
+//go:build !unix
+
+package mmapfile
+
+import "os"
+
+// Supported reports whether this build can mmap files. False here:
+// Open always reads onto the heap on non-unix builds.
+const Supported = false
+
+func mmap(f *os.File, size int) ([]byte, error) { panic("mmapfile: mmap unsupported") }
+
+func munmap(data []byte) error { return nil }

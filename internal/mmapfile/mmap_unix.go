@@ -1,0 +1,20 @@
+//go:build unix
+
+package mmapfile
+
+import (
+	"os"
+	"syscall"
+)
+
+// Supported reports whether this build can mmap files. True on unix.
+const Supported = true
+
+func mmap(f *os.File, size int) ([]byte, error) {
+	// MAP_SHARED keeps the pages backed by the file (no copy-on-write
+	// reservation); PROT_READ makes stray writes through the returned
+	// slice fault instead of corrupting the store.
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(data []byte) error { return syscall.Munmap(data) }

@@ -1,0 +1,81 @@
+// Package mmapfile opens files as read-only byte mappings. On unix it
+// is mmap(2): the returned bytes are backed by the page cache, so an
+// Open is O(1) in the file size and reads fault pages in on demand. On
+// other platforms (and wherever mmap fails) it degrades to reading the
+// whole file onto the heap behind the same API, so callers never
+// branch on platform — they only lose the laziness.
+//
+// The dataset store uses it to open DPKG v2 graph files: the CSR
+// arrays of a stored graph are served straight out of the mapping,
+// which is what takes Store.Load from O(n+m) decode to O(1) open.
+package mmapfile
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Mapping is a read-only view of one file's bytes, either an mmap
+// region or a heap copy. Close is idempotent and safe to call while
+// no reads are in flight; after Close the bytes must not be touched.
+type Mapping struct {
+	mu     sync.Mutex
+	data   []byte
+	mapped bool
+}
+
+// Bytes returns the file contents. For a mapped file the slice aliases
+// the mapping and is valid only until Close.
+func (m *Mapping) Bytes() []byte { return m.data }
+
+// Mapped reports whether the bytes are an mmap region (true) or a heap
+// copy (false). Callers use it to decide residency accounting: mapped
+// bytes are the page cache's problem, heap bytes are ours.
+func (m *Mapping) Mapped() bool { return m.mapped }
+
+// Close releases the mapping (munmap) or drops the heap copy. It is
+// idempotent.
+func (m *Mapping) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, mapped := m.data, m.mapped
+	m.data, m.mapped = nil, false
+	if !mapped || len(data) == 0 {
+		return nil
+	}
+	return munmap(data)
+}
+
+// Open maps path read-only. On platforms without mmap support — and
+// for empty files, which cannot be mapped — the file is read onto the
+// heap instead; Mapped on the result tells the caller which happened.
+func Open(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size > int64(maxInt) {
+		return nil, fmt.Errorf("mmapfile: %s is %d bytes, beyond the addressable limit", path, size)
+	}
+	if Supported && size > 0 {
+		if data, err := mmap(f, int(size)); err == nil {
+			return &Mapping{data: data, mapped: true}, nil
+		}
+		// An mmap refusal (exotic filesystem, resource limits) is not
+		// fatal: fall through to the heap read, losing only laziness.
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapping{data: data}, nil
+}
+
+const maxInt = int(^uint(0) >> 1)

@@ -1,0 +1,60 @@
+package mmapfile
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob")
+	want := bytes.Repeat([]byte("dpkron"), 4096)
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m.Bytes(), want) {
+		t.Fatalf("mapped bytes differ from file contents (%d vs %d bytes)", len(m.Bytes()), len(want))
+	}
+	if Supported && !m.Mapped() {
+		t.Error("Mapped() = false on a platform that supports mmap")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if m.Bytes() != nil {
+		t.Error("Bytes() non-nil after Close")
+	}
+}
+
+func TestOpenEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if len(m.Bytes()) != 0 {
+		t.Fatalf("empty file mapped to %d bytes", len(m.Bytes()))
+	}
+	if m.Mapped() {
+		t.Error("empty file reported as mapped; zero-length regions cannot be")
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("Open of a missing file succeeded")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"dpkron/internal/core"
 	"dpkron/internal/dataset"
 	"dpkron/internal/dp"
+	"dpkron/internal/extsort"
 	"dpkron/internal/graph"
 	"dpkron/internal/kronfit"
 	"dpkron/internal/kronmom"
@@ -544,6 +545,39 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	reqJSON, _ := json.Marshal(&req)
 	j, status, msg := s.submit(jobSpec{kind: "generate", request: reqJSON, fn: func(run *pipeline.Run) (any, error) {
 		rng := randx.New(req.Seed)
+		if store != nil && req.OmitEdges {
+			// Streaming route: nothing downstream needs the edge list in
+			// memory, so spill the sample through an external sort straight
+			// into the store's v2 encoder — peak residency is O(spill
+			// chunk), not O(edges), and the stored bytes are bit-identical
+			// to what the in-memory route would have produced for this
+			// seed.
+			sorter, err := extsort.NewTemp(nil, 0)
+			if err != nil {
+				return nil, err
+			}
+			defer sorter.RemoveAll()
+			var es *skg.EdgeStream
+			switch {
+			case method == "exact":
+				es, err = m.StreamExactCtx(run, rng, sorter)
+			case method == "balldrop" && req.Target > 0:
+				es, err = m.StreamBallDropNCtx(run, rng, req.Target, sorter)
+			case method == "balldrop":
+				es, err = m.StreamBallDropCtx(run, rng, sorter)
+			default:
+				es, err = m.StreamCtx(run, rng, sorter)
+			}
+			if err != nil {
+				return nil, err
+			}
+			defer es.Close()
+			meta, _, err := store.PutStream(es, req.Name, "generated")
+			if err != nil {
+				return nil, err
+			}
+			return GenerateResult{Nodes: meta.Nodes, Edges: meta.Edges, Dataset: &meta}, nil
+		}
 		var g *graph.Graph
 		var err error
 		switch {

@@ -313,40 +313,15 @@ func (m Model) dropPair(r *randx.Rand, pa, pb float64) (u, v int) {
 // key set and the final state of r are therefore identical to the
 // map-based implementation for every seed.
 func (m Model) dropUnique(ctx context.Context, r *randx.Rand, pa, pb float64, need, maxAttempts int, exclude []int64) []int64 {
-	accepted := make([]int64, 0, need)
-	var cand, scratch []int64
-	attempts := 0
-	for len(accepted) < need && attempts < maxAttempts {
-		// Cooperative cancellation between rounds: the caller discards
-		// the partial result after observing ctx.Err(). A live context
-		// never changes the accepted set or the draws consumed from r.
-		if ctx != nil && ctx.Err() != nil {
-			return accepted
+	var fn func(int64) (bool, error)
+	if exclude != nil {
+		fn = func(key int64) (bool, error) {
+			_, dup := slices.BinarySearch(exclude, key)
+			return dup, nil
 		}
-		want := need - len(accepted)
-		cand = cand[:0]
-		for len(cand) < want && attempts < maxAttempts {
-			u, v := m.dropPair(r, pa, pb)
-			attempts++
-			if u == v {
-				continue
-			}
-			if u > v {
-				u, v = v, u
-			}
-			key := int64(u)<<32 | int64(v)
-			if _, dup := slices.BinarySearch(accepted, key); dup {
-				continue
-			}
-			if _, dup := slices.BinarySearch(exclude, key); dup {
-				continue
-			}
-			cand = append(cand, key)
-		}
-		scratch = parallel.SortInt64(1, cand, scratch)
-		cand = slices.Compact(cand)
-		accepted = parallel.MergeSortedInt64(accepted, cand)
 	}
+	// The error path is unreachable with a slice-backed probe.
+	accepted, _ := m.dropUniqueFn(ctx, r, pa, pb, need, maxAttempts, fn)
 	return accepted
 }
 

@@ -1,0 +1,147 @@
+package skg
+
+import (
+	"slices"
+	"testing"
+
+	"dpkron/internal/extsort"
+	"dpkron/internal/faultfs"
+	"dpkron/internal/pipeline"
+	"dpkron/internal/randx"
+)
+
+// packedEdges collects a graph's edges as sorted packed keys, the
+// stream currency.
+func packedKeys(t *testing.T, es *EdgeStream) []int64 {
+	t.Helper()
+	it, err := es.Edges()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var out []int64
+	for {
+		k, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, k)
+	}
+}
+
+// TestStreamBallDropMatchesSample checks the core streaming contract:
+// for a fixed seed the spilled edge set is bit-identical to the
+// in-memory sampler's graph, across spill chunk sizes and worker
+// counts.
+func TestStreamBallDropMatchesSample(t *testing.T) {
+	m, err := NewModel(Initiator{A: 0.9, B: 0.6, C: 0.3}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const target = 2000 // dense enough to force cross-shard collisions and a top-up
+	want := m.SampleBallDropNWorkers(randx.New(7), target, 4)
+	var wantKeys []int64
+	want.ForEachEdge(func(u, v int) { wantKeys = append(wantKeys, int64(u)<<32|int64(v)) })
+	if len(wantKeys) != target {
+		t.Fatalf("reference sampled %d edges, want %d", len(wantKeys), target)
+	}
+	for _, chunk := range []int{64, 1 << 20} {
+		for _, workers := range []int{1, 4} {
+			sorter, err := extsort.New(faultfs.OS, t.TempDir(), chunk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			es, err := m.StreamBallDropNCtx(pipeline.New(nil, workers, nil), randx.New(7), target, sorter)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := packedKeys(t, es)
+			if es.NumEdges() != int64(len(got)) {
+				t.Fatalf("NumEdges = %d but stream yielded %d keys", es.NumEdges(), len(got))
+			}
+			if !slices.Equal(got, wantKeys) {
+				t.Fatalf("chunk %d, workers %d: streamed edge set diverges from in-memory sample (%d vs %d edges)",
+					chunk, workers, len(got), len(wantKeys))
+			}
+			es.Close()
+			sorter.RemoveAll()
+		}
+	}
+}
+
+// TestStreamExactMatchesSample does the same for the exact sampler.
+func TestStreamExactMatchesSample(t *testing.T) {
+	m, err := NewModel(Initiator{A: 0.99, B: 0.55, C: 0.35}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.SampleExactWorkers(randx.New(42), 4)
+	var wantKeys []int64
+	want.ForEachEdge(func(u, v int) { wantKeys = append(wantKeys, int64(u)<<32|int64(v)) })
+	for _, chunk := range []int{32, 1 << 20} {
+		sorter, err := extsort.New(faultfs.OS, t.TempDir(), chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		es, err := m.StreamExactCtx(pipeline.New(nil, 3, nil), randx.New(42), sorter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := packedKeys(t, es); !slices.Equal(got, wantKeys) {
+			t.Fatalf("chunk %d: streamed exact edge set diverges (%d vs %d edges)", chunk, len(got), len(wantKeys))
+		}
+		es.Close()
+		sorter.RemoveAll()
+	}
+}
+
+// TestStreamCtxDispatch checks the K threshold routing matches
+// SampleCtx: small K streams the exact sampler, large K ball-drops.
+func TestStreamCtxDispatch(t *testing.T) {
+	for _, k := range []int{6, 14} {
+		m, err := NewModel(Initiator{A: 0.8, B: 0.5, C: 0.3}, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := m.SampleWorkers(randx.New(3), 2)
+		var wantKeys []int64
+		want.ForEachEdge(func(u, v int) { wantKeys = append(wantKeys, int64(u)<<32|int64(v)) })
+		sorter, err := extsort.New(faultfs.OS, t.TempDir(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		es, err := m.StreamCtx(pipeline.New(nil, 2, nil), randx.New(3), sorter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if es.NumNodes() != m.NumNodes() {
+			t.Fatalf("K=%d: NumNodes = %d, want %d", k, es.NumNodes(), m.NumNodes())
+		}
+		if got := packedKeys(t, es); !slices.Equal(got, wantKeys) {
+			t.Fatalf("K=%d: StreamCtx edge set diverges from SampleCtx (%d vs %d edges)", k, len(got), len(wantKeys))
+		}
+		es.Close()
+		sorter.RemoveAll()
+	}
+}
+
+// TestStreamFaults proves spill failures surface as errors, not as a
+// truncated sample.
+func TestStreamFaults(t *testing.T) {
+	m, err := NewModel(Initiator{A: 0.9, B: 0.6, C: 0.3}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultfs.NewInjector(faultfs.OS).Fail(faultfs.Fault{Op: faultfs.OpWrite, Path: ".run", Short: 4})
+	sorter, err := extsort.New(inj, t.TempDir(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sorter.RemoveAll()
+	if _, err := m.StreamBallDropNCtx(pipeline.New(nil, 2, nil), randx.New(7), 500, sorter); err == nil {
+		t.Fatal("streaming sample with torn spill writes succeeded")
+	}
+}

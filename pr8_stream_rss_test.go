@@ -1,0 +1,97 @@
+package dpkron_test
+
+import (
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dpkron/internal/dataset"
+	"dpkron/internal/extsort"
+	"dpkron/internal/randx"
+	"dpkron/internal/skg"
+)
+
+// TestStreamingGenerateBoundedMemory is the out-of-core smoke test: a
+// k=22 ball-drop sample (16.7M edges — the in-memory route would hold
+// ~600 MB across the key slices and the CSR build) streamed into a
+// store must keep peak heap growth under a small fixed budget,
+// independent of the edge count. Skipped under -short; CI runs it as a
+// dedicated step.
+func TestStreamingGenerateBoundedMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streaming RSS smoke is minutes-scale; run without -short")
+	}
+	const (
+		k      = 22
+		target = 16 << 20 // edges
+		// The budget covers the CSR offset array of 2^22 nodes (16 MB),
+		// the spill chunks, sort scratch, and allocator slack — and is
+		// ~10% of what materializing the sample would take.
+		heapBudget = 192 << 20
+	)
+	m, err := skg.NewModel(skg.Initiator{A: 0.99, B: 0.45, C: 0.25}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+
+	// Peak sampler: HeapInuse polled while the pipeline runs. Coarse but
+	// honest — it sees every transient the pipeline ever holds at once.
+	var peak atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(20 * time.Millisecond):
+				runtime.ReadMemStats(&ms)
+				if ms.HeapInuse > peak.Load() {
+					peak.Store(ms.HeapInuse)
+				}
+			}
+		}
+	}()
+
+	sorter, err := extsort.NewTemp(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sorter.RemoveAll()
+	es, err := m.StreamBallDropNCtx(liveRun(t, 0), randx.New(22), target, sorter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es.Close()
+	store, err := dataset.Open(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, _, err := store.PutStream(es, "rss-smoke", "generated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	if meta.Edges != target {
+		t.Fatalf("streamed %d edges, want %d", meta.Edges, target)
+	}
+	grew := int64(peak.Load()) - int64(base.HeapInuse)
+	t.Logf("k=%d target=%d: peak heap growth %.1f MiB (budget %.0f MiB), stored %.1f MiB v2",
+		k, target, float64(grew)/(1<<20), float64(heapBudget)/(1<<20), float64(meta.Bytes)/(1<<20))
+	if grew > heapBudget {
+		t.Errorf("peak heap grew %.1f MiB during streaming generate, budget %.0f MiB",
+			float64(grew)/(1<<20), float64(heapBudget)/(1<<20))
+	}
+}

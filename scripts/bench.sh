@@ -3,10 +3,11 @@
 # Metropolis, ball dropping — the hot paths optimized in PR 2 — plus
 # PR 3's pipeline-overhead pairs, PR 4's mechanism-dispatch pairs,
 # PR 5's dataset text-parse vs binary-load pairs, PR 6's release
-# cache cold-fit vs cached-fit pairs and PR 7's journal plain vs
-# journaled job-lifecycle pairs) and writes their numbers to
-# BENCH_7.json so future PRs have a recorded trajectory to compare
-# against.
+# cache cold-fit vs cached-fit pairs, PR 7's journal plain vs
+# journaled job-lifecycle pairs and PR 8's out-of-core pairs — v1
+# decode vs v2 mmap open, and in-memory vs streamed generate-to-store
+# with peak-heap gauges) and writes their numbers to BENCH_8.json so
+# future PRs have a recorded trajectory to compare against.
 #
 # Usage: scripts/bench.sh [output.json]
 #
@@ -29,6 +30,12 @@
 #               fixed handful of ms) against a ~1.4 s fit, so a
 #               min-of-three keeps the journal_over_plain ratio
 #               noise-robust
+#   STREAM_BENCHTIME
+#               benchtime (default 1x) for the StreamingGenerate
+#               family: each op is a full multi-second
+#               generate-to-store at k=20..24, and its headline number
+#               is the peak-heap gauge — a max, not a mean — so one
+#               iteration is already the measurement
 #   BASELINE    optional path to a previous BENCH_*.json whose ns/op
 #               numbers become the "baseline_ns_op" fields; without it,
 #               the pre-PR-2 numbers hardcoded below (sort.Slice Build,
@@ -63,17 +70,28 @@
 # (admission through completion of a K=15 private fit over the HTTP
 # API) on a journaling server to the same lifecycle without a journal
 # (PR 7's acceptance bound is <= 1.02 — durability's two fsyncs per
-# job must disappear into the fit).
+# job must disappear into the fit). The MmapLoad family is paired into
+# a "mmap_load" section: v1_over_v2 is the ns ratio of a full v1
+# read+decode to a v2 mmap open of the same graph (PR 8's acceptance
+# bar is >= 10 at k=18 — the v2 open is O(1) in the graph, so the
+# ratio only grows with k and holds at any benchtime). The
+# StreamingGenerate family is paired into a "streaming_generate"
+# section on its heap-peak-bytes gauges: streamed_over_inmem is the
+# ratio of peak heap growth streaming a ball-drop sample to disk to
+# materializing the same sample in memory first (PR 8's acceptance
+# bar is <= 0.25 at k=20, with the k=22/24 rows as the out-of-core
+# points).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_7.json}"
+out="${1:-BENCH_8.json}"
 benchtime="${BENCHTIME:-3x}"
 dispatch_benchtime="${DISPATCH_BENCHTIME:-500x}"
+stream_benchtime="${STREAM_BENCHTIME:-1x}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run=NONE -bench='GraphBuild|KronFitMetropolis|BallDropN|PipelineOverhead|DatasetLoad' \
+go test -run=NONE -bench='GraphBuild|KronFitMetropolis|BallDropN|PipelineOverhead|DatasetLoad|MmapLoad' \
   -benchtime="$benchtime" -count=1 . | tee "$raw" >&2
 go test -run=NONE -bench='MechanismDispatch' \
   -benchtime="$dispatch_benchtime" -count="${DISPATCH_COUNT:-3}" . | tee -a "$raw" >&2
@@ -81,6 +99,8 @@ go test -run=NONE -bench='ReleaseCache' \
   -benchtime="$benchtime" -count="${RELEASE_COUNT:-3}" . | tee -a "$raw" >&2
 go test -run=NONE -bench='JournalOverhead' \
   -benchtime="$benchtime" -count="${JOURNAL_COUNT:-3}" . | tee -a "$raw" >&2
+go test -run=NONE -bench='StreamingGenerate' \
+  -benchtime="$stream_benchtime" -count=1 . | tee -a "$raw" >&2
 
 awk -v benchtime="$benchtime" -v baseline_json="${BASELINE:-}" '
 BEGIN {
@@ -113,28 +133,32 @@ BEGIN {
   }
   n = 0
 }
-/^Benchmark(GraphBuild|KronFitMetropolis|BallDropN|PipelineOverhead|MechanismDispatch|DatasetLoad|ReleaseCache|JournalOverhead)\// {
+/^Benchmark(GraphBuild|KronFitMetropolis|BallDropN|PipelineOverhead|MechanismDispatch|DatasetLoad|ReleaseCache|JournalOverhead|MmapLoad|StreamingGenerate)\// {
   name = $1
   sub(/^Benchmark/, "", name)
   sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
-  ns = ""; bytes = ""; allocs = ""
+  ns = ""; bytes = ""; allocs = ""; hp = ""
   for (i = 2; i <= NF; i++) {
-    if ($i == "ns/op")     ns = $(i-1)
-    if ($i == "B/op")      bytes = $(i-1)
-    if ($i == "allocs/op") allocs = $(i-1)
+    if ($i == "ns/op")           ns = $(i-1)
+    if ($i == "B/op")            bytes = $(i-1)
+    if ($i == "allocs/op")       allocs = $(i-1)
+    if ($i == "heap-peak-bytes") hp = $(i-1)
   }
   if (ns == "") next
   # -count > 1 repeats each benchmark line; keep the fastest run per
   # name (the usual noise-robust estimator for matched-pair ratios).
   if (name in idx) {
     i2 = idx[name]
-    if (ns + 0 < nss[i2] + 0) { nss[i2] = ns; bs[i2] = bytes; as[i2] = allocs }
+    if (ns + 0 < nss[i2] + 0) { nss[i2] = ns; bs[i2] = bytes; as[i2] = allocs; hps[i2] = hp }
   } else {
     idx[name] = n
-    names[n] = name; nss[n] = ns; bs[n] = bytes; as[n] = allocs
+    names[n] = name; nss[n] = ns; bs[n] = bytes; as[n] = allocs; hps[n] = hp
     n++
   }
   if (!(name in ns_by_name) || ns + 0 < ns_by_name[name] + 0) ns_by_name[name] = ns + 0
+  # The peak-heap gauge is a max across repeats, not a min: keep the
+  # largest observation per name.
+  if (hp != "" && (!(name in hp_by_name) || hp + 0 > hp_by_name[name] + 0)) hp_by_name[name] = hp + 0
 }
 /^PASS|^ok / { status = $0 }
 END {
@@ -145,7 +169,7 @@ END {
   "go env GOVERSION" | getline gover
   "date -u +%Y-%m-%dT%H:%M:%SZ" | getline stamp
   printf "{\n"
-  printf "  \"pr\": 7,\n"
+  printf "  \"pr\": 8,\n"
   printf "  \"generated\": \"%s\",\n", stamp
   printf "  \"go\": \"%s\",\n", gover
   printf "  \"benchtime\": \"%s\",\n", benchtime
@@ -155,6 +179,7 @@ END {
     printf "    {\"name\": \"%s\", \"ns_op\": %.0f", names[i], nss[i]
     if (bs[i] != "")  printf ", \"b_op\": %.0f", bs[i]
     if (as[i] != "")  printf ", \"allocs_op\": %.0f", as[i]
+    if (hps[i] != "") printf ", \"heap_peak_bytes\": %.0f", hps[i]
     if (!skip_base && names[i] in base)
       printf ", \"baseline_ns_op\": %.0f, \"speedup\": %.2f", base[names[i]], base[names[i]] / nss[i]
     printf "}%s\n", (i < n - 1 ? "," : "")
@@ -280,6 +305,57 @@ END {
     journal = ns_by_name[stem "-journal"] + 0
     printf "    {\"job\": \"%s\", \"plain_ns_op\": %.0f, \"journal_ns_op\": %.0f, \"journal_over_plain\": %.4f}%s\n", \
       short, plain, journal, journal / plain, (i < nj - 1 ? "," : "")
+  }
+  printf "  ],\n"
+  # Matched v1decode/v2open pairs -> mmap open speedups (PR 8
+  # acceptance bar: v1_over_v2 >= 10 at k=18).
+  printf "  \"mmap_load\": [\n"
+  nv = 0
+  for (name in ns_by_name) {
+    if (name ~ /^MmapLoad\/.*-v1decode$/) {
+      stem = name
+      sub(/-v1decode$/, "", stem)
+      v2name = stem "-v2open"
+      if (v2name in ns_by_name) vpairs[nv++] = stem
+    }
+  }
+  for (i = 0; i < nv; i++)
+    for (j = i + 1; j < nv; j++)
+      if (vpairs[j] < vpairs[i]) { tmp = vpairs[i]; vpairs[i] = vpairs[j]; vpairs[j] = tmp }
+  for (i = 0; i < nv; i++) {
+    stem = vpairs[i]
+    short = stem
+    sub(/^MmapLoad\//, "", short)
+    v1 = ns_by_name[stem "-v1decode"] + 0
+    v2 = ns_by_name[stem "-v2open"] + 0
+    printf "    {\"graph\": \"%s\", \"v1_decode_ns_op\": %.0f, \"v2_open_ns_op\": %.0f, \"v1_over_v2\": %.1f}%s\n", \
+      short, v1, v2, v1 / v2, (i < nv - 1 ? "," : "")
+  }
+  printf "  ],\n"
+  # Matched inmem/streamed pairs -> peak-heap ratios of the two
+  # generate-to-store routes (PR 8 acceptance bar: streamed_over_inmem
+  # <= 0.25 at k=20; k=22/24 are the out-of-core points).
+  printf "  \"streaming_generate\": [\n"
+  ns2 = 0
+  for (name in hp_by_name) {
+    if (name ~ /^StreamingGenerate\/.*-inmem$/) {
+      stem = name
+      sub(/-inmem$/, "", stem)
+      sname = stem "-streamed"
+      if (sname in hp_by_name) spairs2[ns2++] = stem
+    }
+  }
+  for (i = 0; i < ns2; i++)
+    for (j = i + 1; j < ns2; j++)
+      if (spairs2[j] < spairs2[i]) { tmp = spairs2[i]; spairs2[i] = spairs2[j]; spairs2[j] = tmp }
+  for (i = 0; i < ns2; i++) {
+    stem = spairs2[i]
+    short = stem
+    sub(/^StreamingGenerate\//, "", short)
+    ih = hp_by_name[stem "-inmem"] + 0
+    sh = hp_by_name[stem "-streamed"] + 0
+    printf "    {\"point\": \"%s\", \"inmem_ns_op\": %.0f, \"streamed_ns_op\": %.0f, \"inmem_peak_heap_bytes\": %.0f, \"streamed_peak_heap_bytes\": %.0f, \"streamed_over_inmem\": %.4f}%s\n", \
+      short, ns_by_name[stem "-inmem"], ns_by_name[stem "-streamed"], ih, sh, sh / ih, (i < ns2 - 1 ? "," : "")
   }
   printf "  ]\n}\n"
 }' "$raw" > "$out"
