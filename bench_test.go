@@ -23,6 +23,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -47,6 +48,7 @@ import (
 	"dpkron/internal/journal"
 	"dpkron/internal/kronfit"
 	"dpkron/internal/kronmom"
+	"dpkron/internal/obs"
 	"dpkron/internal/randx"
 	"dpkron/internal/release"
 	"dpkron/internal/server"
@@ -948,4 +950,89 @@ func BenchmarkStreamingGenerate(b *testing.B) {
 		b.Run(fmt.Sprintf("K=%d-inmem", cfg.k), func(b *testing.B) { leg(b, false) })
 		b.Run(fmt.Sprintf("K=%d-streamed", cfg.k), func(b *testing.B) { leg(b, true) })
 	}
+}
+
+// BenchmarkObsOverhead measures what full observability costs on the
+// serving path. Each op is one complete job lifecycle over the HTTP
+// API — admission, a K=15 private fit by stored dataset id, completion
+// — against an uninstrumented server (plain) and one carrying the
+// whole PR 9 telemetry surface: a metrics registry with every
+// subsystem instrumented, a JSON logger at info, and pprof mounted
+// (instrumented). scripts/bench.sh computes instrumented_over_plain
+// into BENCH_9.json's obs_overhead section; the acceptance bound is
+// <= 1.02 — atomic counters and one log record per request/job must
+// disappear into a production-shaped fit.
+func BenchmarkObsOverhead(b *testing.B) {
+	g := featureGraph(b, 15, 1<<19)
+	store, err := dataset.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	meta, _, err := store.Put(g, "bench", "generated")
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	lifecycle := func(b *testing.B, instrumented bool) {
+		opts := server.Options{
+			Workers: 1, MaxJobs: 1, MaxQueue: 4, MaxHistory: 64,
+			Datasets: store,
+		}
+		if instrumented {
+			opts.Metrics = obs.NewRegistry()
+			logger, err := obs.NewLogger(io.Discard, "json", "info")
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts.Logger = logger
+			opts.EnablePprof = true
+		}
+		srv := server.New(opts)
+		defer srv.Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			body := fmt.Sprintf(`{"method":"private","eps":0.4,"delta":0.01,"k":15,"seed":%d,"dataset_id":%q}`,
+				i+1, meta.ID)
+			resp, err := http.Post(ts.URL+"/v1/fit", "application/json", strings.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var sub struct {
+				ID string `json:"id"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted || sub.ID == "" {
+				b.Fatalf("fit submit: %d %+v", resp.StatusCode, sub)
+			}
+			for {
+				resp, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var job struct {
+					Status string `json:"status"`
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+					b.Fatal(err)
+				}
+				resp.Body.Close()
+				if job.Status == "done" {
+					break
+				}
+				if job.Status == "failed" || job.Status == "cancelled" {
+					b.Fatalf("job ended %s", job.Status)
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}
+
+	b.Run("K=15-plain", func(b *testing.B) { lifecycle(b, false) })
+	b.Run("K=15-instrumented", func(b *testing.B) { lifecycle(b, true) })
 }

@@ -31,8 +31,17 @@ type jobView struct {
 	ID     string          `json:"id"`
 	Kind   string          `json:"kind"`
 	Status string          `json:"status"`
+	Stages []stageView     `json:"stages,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
 	Error  string          `json:"error,omitempty"`
+}
+
+// stageView mirrors the server's StageProgress: one pipeline stage's
+// latest fraction and, once complete, its wall-clock duration.
+type stageView struct {
+	Stage   string  `json:"stage"`
+	Frac    float64 `json:"frac"`
+	Seconds float64 `json:"seconds,omitempty"`
 }
 
 func cmdJob(args []string) error {
@@ -40,6 +49,7 @@ func cmdJob(args []string) error {
 	serverURL := fs.String("server", "http://127.0.0.1:8080", "base URL of a running `dpkron serve`")
 	id := fs.String("id", "", "job id (required for show, wait and cancel)")
 	timeout := fs.Duration("timeout", 10*time.Minute, "wait: give up after this long")
+	verbose := fs.Bool("v", false, "show: also print per-stage progress and timings")
 	action := ""
 	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
 		action, args = args[0], args[1:]
@@ -66,7 +76,7 @@ func cmdJob(args []string) error {
 		if err != nil {
 			return err
 		}
-		printJob(os.Stdout, v, true)
+		printJobVerbose(os.Stdout, v, *verbose)
 		return nil
 	case "cancel":
 		return jobCancel(base, *id)
@@ -224,8 +234,30 @@ func jitter(d time.Duration) time.Duration {
 	return d/2 + rand.N(d/2)
 }
 
+// printJobVerbose is `job show`'s renderer: the standard job block,
+// with per-stage progress and wall-clock timings when -v is set.
+func printJobVerbose(w *os.File, v *jobView, verbose bool) {
+	fmt.Fprintf(w, "job:    %s\nkind:   %s\nstatus: %s\n", v.ID, v.Kind, v.Status)
+	if verbose {
+		for _, st := range v.Stages {
+			line := fmt.Sprintf("stage:  %-28s %5.1f%%", st.Stage, st.Frac*100)
+			if st.Seconds > 0 {
+				line += fmt.Sprintf("  %.3fs", st.Seconds)
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
+	printJobTail(w, v, true)
+}
+
 func printJob(w *os.File, v *jobView, withResult bool) {
 	fmt.Fprintf(w, "job:    %s\nkind:   %s\nstatus: %s\n", v.ID, v.Kind, v.Status)
+	printJobTail(w, v, withResult)
+}
+
+// printJobTail renders the error and result lines shared by the plain
+// and verbose job renderers.
+func printJobTail(w *os.File, v *jobView, withResult bool) {
 	if v.Error != "" {
 		fmt.Fprintf(w, "error:  %s\n", v.Error)
 	}

@@ -13,8 +13,8 @@
 //	dpkron sweep   [-dataset NAME] [-trials N]
 //	dpkron ssgrowth [-kmin K] [-kmax K]
 //	dpkron sscompare [-kmin K] [-kmax K]
-//	dpkron serve   [-addr HOST:PORT] [-max-jobs N] [-ledger FILE] [-store DIR] [-release-cache DIR] [-journal FILE] [-drain-timeout D]
-//	dpkron job     <list|show|wait|cancel> -server URL [-id ID]
+//	dpkron serve   [-addr HOST:PORT] [-max-jobs N] [-ledger FILE] [-store DIR] [-release-cache DIR] [-journal FILE] [-drain-timeout D] [-metrics-addr HOST:PORT] [-pprof] [-log-format text|json] [-log-level L]
+//	dpkron job     <list|show|wait|cancel> -server URL [-id ID] [-v]
 //	dpkron budget  <show|set|reset> -ledger FILE [-dataset ID] [-eps E] [-delta D]
 //	dpkron dataset <import|list|info|export|convert|rm> -store DIR [-in FILE|-] [-id ID] [-name S] [-out FILE] [-format v1|v2]
 //	dpkron cache   <list|info|rm> -dir DIR [-id ID]
@@ -43,8 +43,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -63,6 +65,7 @@ import (
 	"dpkron/internal/journal"
 	"dpkron/internal/kronfit"
 	"dpkron/internal/kronmom"
+	"dpkron/internal/obs"
 	"dpkron/internal/pipeline"
 	"dpkron/internal/randx"
 	"dpkron/internal/release"
@@ -120,6 +123,31 @@ func addPipeFlags(fs *flag.FlagSet) pipeFlags {
 		progress: fs.Bool("progress", false,
 			"print pipeline stage progress lines to stderr"),
 	}
+}
+
+// logFlags are the structured-logging flags shared by serve and fit.
+type logFlags struct {
+	format *string
+	level  *string
+}
+
+// addLogFlags registers -log-format and -log-level. serve defaults to
+// info (operators want the request/job stream); fit defaults to warn
+// so the command's stdout/stderr contract is unchanged unless asked.
+func addLogFlags(fs *flag.FlagSet, defaultLevel string) logFlags {
+	return logFlags{
+		format: fs.String("log-format", "text", "structured log format: text | json"),
+		level:  fs.String("log-level", defaultLevel, "log verbosity: debug | info | warn | error"),
+	}
+}
+
+// logger builds the slog.Logger the flags describe, writing to stderr.
+func (l logFlags) logger(fs *flag.FlagSet) (*slog.Logger, error) {
+	lg, err := obs.NewLogger(os.Stderr, *l.format, *l.level)
+	if err != nil {
+		return nil, usagef(fs, "%v", err)
+	}
+	return lg, nil
 }
 
 // validateBudget enforces the shared ε/δ flag contract uniformly
@@ -348,8 +376,13 @@ func cmdFit(args []string) error {
 	storeDir := fs.String("store", "", "dataset store directory; lets -in name a stored dataset id")
 	relCacheDir := fs.String("release-cache", "",
 		"release cache directory; an identical earlier private fit is re-served from it at zero budget and zero compute, and new fits are memoized")
+	lf := addLogFlags(fs, "warn") // warn by default: fit's stdout/stderr contract is unchanged
 	pf := addPipeFlags(fs)
 	if err := parse(fs, args); err != nil {
+		return err
+	}
+	logger, err := lf.logger(fs)
+	if err != nil {
 		return err
 	}
 	if *in == "" {
@@ -364,6 +397,15 @@ func cmdFit(args []string) error {
 	if err != nil {
 		return err
 	}
+	logger.LogAttrs(context.Background(), slog.LevelInfo, "fit starting",
+		slog.String("method", strings.ToLower(*method)), slog.Float64("eps", *eps),
+		slog.Float64("delta", *delta), slog.Int("k", *k), slog.Uint64("seed", *seed),
+		slog.Int("nodes", g.NumNodes()), slog.Int("edges", g.NumEdges()))
+	fitStart := time.Now()
+	defer func() {
+		logger.LogAttrs(context.Background(), slog.LevelInfo, "fit finished",
+			slog.Duration("duration", time.Since(fitStart)))
+	}()
 	rng := randx.New(*seed)
 	switch strings.ToLower(*method) {
 	case "private":
@@ -695,11 +737,23 @@ func cmdServe(args []string) error {
 		"job journal file; makes jobs durable across crashes (resume without a second debit) and restarts")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second,
 		"on SIGINT/SIGTERM, how long running jobs may finish before being cancelled")
+	metricsAddr := fs.String("metrics-addr", "",
+		"additionally serve /metrics (and -pprof profiles) on this separate listener, off the request path")
+	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	lf := addLogFlags(fs, "info")
 	pf := addPipeFlags(fs) // -workers, -timeout (server lifetime), -progress (job event log)
 	if err := parse(fs, args); err != nil {
 		return err
 	}
-	opts := server.Options{Workers: *pf.workers, MaxJobs: *maxJobs, MaxQueue: *maxQueue, MaxHistory: *maxHistory}
+	logger, err := lf.logger(fs)
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	opts := server.Options{
+		Workers: *pf.workers, MaxJobs: *maxJobs, MaxQueue: *maxQueue, MaxHistory: *maxHistory,
+		Metrics: reg, Logger: logger, EnablePprof: *enablePprof,
+	}
 	if *ledgerPath != "" {
 		led, err := accountant.Open(*ledgerPath)
 		if err != nil {
@@ -753,6 +807,28 @@ func cmdServe(args []string) error {
 		return err
 	}
 	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+
+	if *metricsAddr != "" {
+		// Telemetry on its own listener: scrapes and profiles stay
+		// reachable (and firewallable) independently of request traffic.
+		mmux := http.NewServeMux()
+		mmux.Handle("GET /metrics", reg.Handler())
+		if *enablePprof {
+			mmux.HandleFunc("GET /debug/pprof/", pprof.Index)
+			mmux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+			mmux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+			mmux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+			mmux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		}
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return err
+		}
+		metricsSrv := &http.Server{Handler: mmux, ReadHeaderTimeout: 10 * time.Second}
+		defer metricsSrv.Close()
+		fmt.Fprintf(os.Stderr, "dpkron serve: metrics on http://%s/metrics\n", mln.Addr())
+		go func() { _ = metricsSrv.Serve(mln) }()
+	}
 
 	// -timeout bounds the server's lifetime (useful for smoke tests and
 	// batch drivers); SIGINT/SIGTERM always shut down gracefully.

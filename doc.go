@@ -121,4 +121,25 @@
 // O(edges). The streamed sampler consumes the same random streams as
 // the in-memory one — for a fixed seed the stored dataset is
 // bit-identical either way, down to its content-addressed id.
+//
+// # Observability
+//
+// The serving tier is fully instrumented, with zero dependencies: a
+// MetricsRegistry (NewMetricsRegistry) of atomic counters, gauges and
+// histograms rendered in the Prometheus text exposition format
+// (MetricsHandler, GET /metrics), and structured request/job logging
+// via log/slog (NewStructuredLogger). Handing a registry and logger
+// to server.Options instruments every layer — HTTP routes (latency,
+// status, in-flight), the job queue (submissions, per-stage wall
+// clock, queue/running gauges), the privacy ledger (debits, refusals,
+// remaining budget per dataset), the release cache, the journal's
+// fsync latency, and the dataset store's load routes. Every request
+// carries an X-Request-ID (echoed or generated) that threads through
+// the access and admission logs; refused admissions (budget, queue,
+// body cap, drain) are counted by reason and warn-logged, never
+// silent. Observation never perturbs the observed: a nil registry and
+// logger are true no-ops, and fixed-seed releases are bit-identical
+// with or without instrumentation. `dpkron serve` flags: -metrics-addr,
+// -pprof, -log-format, -log-level; GET /readyz reports drain state
+// for load balancers, distinct from /healthz liveness.
 package dpkron

@@ -3,6 +3,8 @@ package dpkron
 import (
 	"context"
 	"io"
+	"log/slog"
+	"net/http"
 	"time"
 
 	"dpkron/internal/accountant"
@@ -15,6 +17,7 @@ import (
 	"dpkron/internal/kronfit"
 	"dpkron/internal/kronmom"
 	"dpkron/internal/linalg"
+	"dpkron/internal/obs"
 	"dpkron/internal/pipeline"
 	"dpkron/internal/randx"
 	"dpkron/internal/release"
@@ -110,10 +113,33 @@ type (
 	// ProgressSink receives pipeline progress events; calls are
 	// serialized by the Run.
 	ProgressSink = pipeline.Sink
+	// MetricsRegistry holds named counters, gauges and histograms and
+	// renders them in the Prometheus text exposition format. Hand one
+	// to server.Options.Metrics to instrument the whole serving tier;
+	// a nil registry makes every metric operation a no-op.
+	MetricsRegistry = obs.Registry
 )
 
 // NewRand returns a deterministic random source for the given seed.
 func NewRand(seed uint64) *Rand { return randx.New(seed) }
+
+// NewMetricsRegistry returns an empty metrics registry. Register it
+// with a server (server.Options.Metrics) or instrument components
+// directly; MetricsHandler serves its current state.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// MetricsHandler returns an http.Handler rendering reg in the
+// Prometheus text exposition format (version 0.0.4) — mount it at
+// GET /metrics. A nil registry serves an empty exposition.
+func MetricsHandler(reg *MetricsRegistry) http.Handler { return reg.Handler() }
+
+// NewStructuredLogger returns a *slog.Logger writing one record per
+// line to w. Format is "text" or "json"; level is "debug", "info",
+// "warn" or "error". The serving tier (server.Options.Logger) emits
+// request- and job-correlated records through it.
+func NewStructuredLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	return obs.NewLogger(w, format, level)
+}
 
 // NewAccountant returns an unlimited sequential-composition
 // accountant; cap it with WithLimit to enforce a budget. Pass it via

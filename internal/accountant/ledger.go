@@ -72,6 +72,9 @@ const ledgerVersion = 1
 type Ledger struct {
 	path string
 	fs   faultfs.FS
+	// met carries the telemetry collectors installed by Instrument;
+	// the zero value no-ops.
+	met  ledgerMetrics
 	mu   sync.Mutex
 	data ledgerFile
 }
@@ -177,7 +180,11 @@ func (l *Ledger) SetBudget(dataset string, b dp.Budget) error {
 			l.data.Datasets[dataset] = acct
 		}
 		acct.Budget = b
-		return l.persistLocked()
+		if err := l.persistLocked(); err != nil {
+			return err
+		}
+		l.met.setRemaining(dataset, acct.Remaining())
+		return nil
 	})
 }
 
@@ -193,7 +200,11 @@ func (l *Ledger) Reset(dataset string) error {
 		}
 		acct.Spent = dp.Budget{}
 		acct.Receipts = nil
-		return l.persistLocked()
+		if err := l.persistLocked(); err != nil {
+			return err
+		}
+		l.met.setRemaining(dataset, acct.Remaining())
+		return nil
 	})
 }
 
@@ -279,6 +290,7 @@ func (l *Ledger) spend(dataset string, r Receipt) error {
 		}
 		if have.Spent.Eps+r.Total.Eps > have.Budget.Eps+budgetSlack ||
 			have.Spent.Delta+r.Total.Delta > have.Budget.Delta+budgetSlack {
+			l.met.refusals.With(dataset).Inc()
 			return &ExhaustedError{
 				Dataset:   dataset,
 				Requested: r.Total,
@@ -301,6 +313,8 @@ func (l *Ledger) spend(dataset string, r Receipt) error {
 			acct.Receipts = acct.Receipts[:len(acct.Receipts)-1]
 			return err
 		}
+		l.met.debits.With(dataset).Inc()
+		l.met.setRemaining(dataset, acct.Remaining())
 		return nil
 	})
 }

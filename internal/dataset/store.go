@@ -67,6 +67,9 @@ type Meta struct {
 type Store struct {
 	dir string
 	fs  faultfs.FS
+	// met carries the telemetry collectors installed by Instrument;
+	// the zero value no-ops.
+	met storeMetrics
 
 	mu         sync.Mutex
 	cache      map[string]cacheEntry // id -> decoded graph (immutable)
@@ -245,10 +248,11 @@ func (s *Store) Load(id string) (*graph.Graph, error) {
 	s.mu.Lock()
 	if e, ok := s.cache[id]; ok {
 		s.mu.Unlock()
+		s.met.loads.With(loadRouteCache).Inc()
 		return e.g, nil
 	}
 	s.mu.Unlock()
-	g, mapped, err := s.openGraph(id)
+	g, mapped, route, err := s.openGraph(id)
 	if err != nil {
 		return nil, err
 	}
@@ -270,43 +274,50 @@ func (s *Store) Load(id string) (*graph.Graph, error) {
 			s.order = s.order[1:]
 			s.cacheBytes -= s.cache[victim].bytes
 			delete(s.cache, victim)
+			s.met.evictions.Inc()
 		}
 	}
+	s.met.resident.Set(float64(s.cacheBytes))
 	s.mu.Unlock()
+	s.met.loads.With(route).Inc()
 	return g, nil
 }
 
 // openGraph materializes one dataset from disk: v2 files go through
 // OpenMapped (zero-copy mmap where supported, heap fallback
 // otherwise), v1 files through the full verifying decode.
-func (s *Store) openGraph(id string) (g *graph.Graph, mapped bool, err error) {
+func (s *Store) openGraph(id string) (g *graph.Graph, mapped bool, route string, err error) {
 	path := s.graphPath(id)
 	version, err := s.sniffVersion(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, false, fmt.Errorf("%w: %s", ErrNotFound, id)
+			return nil, false, "", fmt.Errorf("%w: %s", ErrNotFound, id)
 		}
-		return nil, false, fmt.Errorf("dataset %s: %w", id, err)
+		return nil, false, "", fmt.Errorf("dataset %s: %w", id, err)
 	}
 	if version == codecVersion2 {
 		g, mapped, err = OpenMapped(path)
 		if err != nil {
-			return nil, false, fmt.Errorf("dataset %s: %w", id, err)
+			return nil, false, "", fmt.Errorf("dataset %s: %w", id, err)
 		}
-		return g, mapped, nil
+		route = loadRouteV2Heap
+		if mapped {
+			route = loadRouteMmap
+		}
+		return g, mapped, route, nil
 	}
 	data, err := s.fs.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, false, fmt.Errorf("%w: %s", ErrNotFound, id)
+			return nil, false, "", fmt.Errorf("%w: %s", ErrNotFound, id)
 		}
-		return nil, false, fmt.Errorf("dataset: loading %s: %w", id, err)
+		return nil, false, "", fmt.Errorf("dataset: loading %s: %w", id, err)
 	}
 	g, err = Unmarshal(data)
 	if err != nil {
-		return nil, false, fmt.Errorf("dataset %s: %w", id, err)
+		return nil, false, "", fmt.Errorf("dataset %s: %w", id, err)
 	}
-	return g, false, nil
+	return g, false, loadRouteV1, nil
 }
 
 // sniffVersion reads just enough of a graph file to identify its DPKG
@@ -531,6 +542,8 @@ func (s *Store) evictLocked(id string) {
 	}
 	delete(s.cache, id)
 	s.cacheBytes -= e.bytes
+	s.met.evictions.Inc()
+	s.met.resident.Set(float64(s.cacheBytes))
 	for i, cid := range s.order {
 		if cid == id {
 			s.order = append(s.order[:i], s.order[i+1:]...)

@@ -138,6 +138,9 @@ type Journal struct {
 	path   string
 	fsys   faultfs.FS
 	unlock func()
+	// met carries the telemetry collectors installed by Instrument;
+	// the zero value no-ops.
+	met journalMetrics
 
 	mu      sync.Mutex
 	f       faultfs.File
@@ -339,14 +342,17 @@ func (j *Journal) Append(rec Record, sync bool) error {
 		return fmt.Errorf("journal: appending to %s: %w", j.path, err)
 	}
 	if sync {
+		start := time.Now()
 		if err := j.f.Sync(); err != nil {
 			j.reopenLocked()
 			return fmt.Errorf("journal: syncing %s: %w", j.path, err)
 		}
+		j.met.observeFsync(start)
 	}
 	j.seq = rec.Seq
 	j.size += int64(len(frame))
 	j.records = append(j.records, rec)
+	j.met.appends.With(rec.State).Inc()
 	return nil
 }
 

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger returns a structured logger writing one record per line
+// to w. format selects the handler: "text" (logfmt-style, default) or
+// "json"; level gates emission: "debug", "info" (default), "warn",
+// "error". Unknown values are errors so a typo in -log-format fails
+// at flag time, not silently at runtime.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lv = slog.LevelInfo
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+	}
+	return slog.New(h), nil
+}
+
+// NopLogger returns a logger that discards everything — the
+// nil-object for optional logging, so instrumented code logs
+// unconditionally instead of nil-checking at every site.
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }
+
+// nopHandler reports every level disabled, so slog short-circuits
+// before formatting records.
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+// NewRequestID returns a fresh 16-hex-character correlation id for a
+// request or job. Ids come from crypto/rand — never from a seeded
+// source — so telemetry cannot perturb fixed-seed outputs.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means the platform's entropy source is
+		// broken; ids degrade to a constant rather than taking the
+		// serving path down.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}

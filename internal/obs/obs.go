@@ -1,0 +1,507 @@
+// Package obs is the serving tier's dependency-free telemetry core:
+// counters, gauges and fixed-bucket histograms collected in a Registry
+// and rendered in the Prometheus text exposition format (version
+// 0.0.4), plus a structured logger built on log/slog with
+// per-request/per-job correlation ids.
+//
+// Everything is lock-free on the hot path — counters are single
+// atomic adds, gauges store float64 bits in a uint64, histograms are
+// one binary search plus two atomic adds — and every constructor and
+// method is nil-safe: a nil *Registry hands out nil collectors whose
+// methods no-op, so library callers that never configure telemetry
+// pay nothing (one nil check) on instrumented paths. Telemetry never
+// draws randomness from any seeded source (request ids come from
+// crypto/rand), so instrumenting a fixed-seed pipeline cannot perturb
+// its outputs.
+//
+// Cardinality discipline is the caller's job: label values must come
+// from small bounded sets (routes, reasons, stages, dataset ids an
+// operator configured) — never from unbounded client input.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the default latency histogram upper bounds, in
+// seconds: half a millisecond through one minute, covering a cache
+// hit and a k=20 fit in the same histogram.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// FsyncBuckets are histogram bounds matched to fsync latency: tens of
+// microseconds on a fast SSD through the hundreds of milliseconds a
+// saturated disk can take.
+var FsyncBuckets = []float64{
+	0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 1,
+}
+
+// metricKind is a family's Prometheus TYPE.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// Registry holds metric families and renders them in the Prometheus
+// text exposition format. The zero value is not usable; construct
+// with NewRegistry. A nil *Registry is a valid no-op registry: every
+// constructor returns a nil collector whose methods do nothing.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty Registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+// family is one metric name: its metadata plus every labeled series.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	labels  []string
+	buckets []float64 // histograms only
+
+	mu     sync.RWMutex
+	series map[string]any // joined label values -> *Counter | *Gauge | *Histogram
+}
+
+// labelSep joins label values into series keys; it cannot appear in a
+// valid UTF-8 label value produced by this codebase's bounded sets.
+const labelSep = "\x1f"
+
+// lookup returns the family registered under name, creating it on
+// first use. Re-registering with a different type or label set is a
+// programming error and panics, matching prometheus/client_golang.
+func (r *Registry) lookup(name, help string, kind metricKind, labels []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s%v, was %s%v", name, kind, labels, f.kind, f.labels))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("obs: metric %q re-registered with labels %v, was %v", name, labels, f.labels))
+			}
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labels:  append([]string(nil), labels...),
+		buckets: buckets,
+		series:  map[string]any{},
+	}
+	r.fams[name] = f
+	return f
+}
+
+// child returns the series stored under key, creating it with mk on
+// first use.
+func (f *family) child(key string, mk func() any) any {
+	f.mu.RLock()
+	c, ok := f.series[key]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.series[key]; ok {
+		return c
+	}
+	c = mk()
+	f.series[key] = c
+	return c
+}
+
+// Counter is a monotonically increasing value. Nil-safe.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down. Nil-safe.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta (negative deltas subtract).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed upper-bound buckets.
+// Nil-safe.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds; +Inf is implicit
+	counts []atomic.Uint64 // len(bounds)+1, last is the +Inf bucket
+	sum    atomic.Uint64   // float64 bits, CAS-updated
+	count  atomic.Uint64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Counter registers (or fetches) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.lookup(name, help, kindCounter, nil, nil)
+	return f.child("", func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge registers (or fetches) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.lookup(name, help, kindGauge, nil, nil)
+	return f.child("", func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram registers (or fetches) an unlabeled histogram. Buckets
+// are cumulative upper bounds and must be sorted ascending; nil
+// selects DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := r.lookup(name, help, kindHistogram, nil, buckets)
+	return f.child("", func() any { return newHistogram(buckets) }).(*Histogram)
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	return &Histogram{
+		bounds: append([]float64(nil), buckets...),
+		counts: make([]atomic.Uint64, len(buckets)+1),
+	}
+}
+
+// CounterVec is a counter family partitioned by label values.
+type CounterVec struct{ fam *family }
+
+// GaugeVec is a gauge family partitioned by label values.
+type GaugeVec struct{ fam *family }
+
+// HistogramVec is a histogram family partitioned by label values.
+type HistogramVec struct{ fam *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{fam: r.lookup(name, help, kindCounter, labels, nil)}
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{fam: r.lookup(name, help, kindGauge, labels, nil)}
+}
+
+// HistogramVec registers a labeled histogram family (nil buckets
+// selects DefBuckets).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{fam: r.lookup(name, help, kindHistogram, labels, buckets)}
+}
+
+func seriesKey(fam *family, values []string) string {
+	if len(values) != len(fam.labels) {
+		panic(fmt.Sprintf("obs: metric %q got %d label values, want %d (%v)", fam.name, len(values), len(fam.labels), fam.labels))
+	}
+	return strings.Join(values, labelSep)
+}
+
+// With returns the counter for the given label values, creating it on
+// first use. Nil-safe (returns a nil Counter).
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	key := seriesKey(v.fam, values)
+	return v.fam.child(key, func() any { return &Counter{} }).(*Counter)
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	key := seriesKey(v.fam, values)
+	return v.fam.child(key, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	key := seriesKey(v.fam, values)
+	buckets := v.fam.buckets
+	return v.fam.child(key, func() any { return newHistogram(buckets) }).(*Histogram)
+}
+
+// WriteTo renders every registered family in the Prometheus text
+// exposition format (0.0.4): families sorted by name, series sorted
+// by label values, histograms as cumulative _bucket/_sum/_count.
+// Rendering takes a point-in-time read of each atomic; it never
+// blocks writers.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	if r == nil {
+		return 0, nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.render(&b)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+func (f *family) render(b *strings.Builder) {
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	series := make([]any, len(keys))
+	for i, k := range keys {
+		series[i] = f.series[k]
+	}
+	f.mu.RUnlock()
+	if len(series) == 0 {
+		return
+	}
+
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+	for i, key := range keys {
+		var values []string
+		if key != "" || len(f.labels) > 0 {
+			values = strings.Split(key, labelSep)
+		}
+		switch m := series[i].(type) {
+		case *Counter:
+			b.WriteString(f.name)
+			writeLabels(b, f.labels, values, "", 0)
+			fmt.Fprintf(b, " %d\n", m.Value())
+		case *Gauge:
+			b.WriteString(f.name)
+			writeLabels(b, f.labels, values, "", 0)
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(m.Value()))
+			b.WriteByte('\n')
+		case *Histogram:
+			// A scrape racing Observe may see count updated before sum
+			// (or a bucket before count); each number is individually
+			// consistent, which is all the format promises.
+			var cum uint64
+			for bi, bound := range m.bounds {
+				cum += m.counts[bi].Load()
+				b.WriteString(f.name)
+				b.WriteString("_bucket")
+				writeLabels(b, f.labels, values, "le", bound)
+				fmt.Fprintf(b, " %d\n", cum)
+			}
+			cum += m.counts[len(m.bounds)].Load()
+			b.WriteString(f.name)
+			b.WriteString("_bucket")
+			writeLabels(b, f.labels, values, "le", math.Inf(1))
+			fmt.Fprintf(b, " %d\n", cum)
+			b.WriteString(f.name)
+			b.WriteString("_sum")
+			writeLabels(b, f.labels, values, "", 0)
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(math.Float64frombits(m.sum.Load())))
+			b.WriteByte('\n')
+			b.WriteString(f.name)
+			b.WriteString("_count")
+			writeLabels(b, f.labels, values, "", 0)
+			fmt.Fprintf(b, " %d\n", m.count.Load())
+		}
+	}
+}
+
+// writeLabels renders {k="v",...}, appending an le label when leName
+// is non-empty. No braces are emitted for an unlabeled series.
+func writeLabels(b *strings.Builder, names, values []string, leName string, le float64) {
+	if len(names) == 0 && leName == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, name := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if leName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(leName)
+		b.WriteString(`="`)
+		if math.IsInf(le, 1) {
+			b.WriteString("+Inf")
+		} else {
+			b.WriteString(formatFloat(le))
+		}
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// round-trippable decimal.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double-quote and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes HELP text: backslash and newline (quotes are
+// legal in help).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler returns an http.Handler serving the registry in the text
+// exposition format — mount it at GET /metrics. A nil registry serves
+// an empty (valid) exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = r.WriteTo(w)
+	})
+}

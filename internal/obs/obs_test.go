@@ -1,0 +1,371 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestGolden pins the exact exposition bytes for a representative
+// registry: a labeled counter, an unlabeled gauge, and a labeled
+// histogram, families sorted by name and series by label values.
+func TestGolden(t *testing.T) {
+	r := NewRegistry()
+	req := r.CounterVec("test_requests_total", "Total requests.", "route", "code")
+	req.With("/v1/fit", "200").Add(3)
+	req.With("/v1/fit", "429").Inc()
+	g := r.Gauge("test_queue_depth", "Jobs queued.")
+	g.Set(2.5)
+	g.Add(-0.5)
+	h := r.HistogramVec("test_latency_seconds", "Request latency.", []float64{0.1, 1, 10}, "route")
+	for _, v := range []float64{0.25, 0.5, 5, 50} {
+		h.With("/v1/fit").Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/golden.prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != string(want) {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", buf.String(), want)
+	}
+}
+
+// Prometheus text format grammar (abridged to what this renderer
+// emits): comment lines and sample lines.
+var (
+	helpRe   = regexp.MustCompile(`^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .+$`)
+	typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:\\.|[^"\\])*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[+-]?[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?)$`)
+)
+
+// TestGrammar renders a registry exercising every metric kind plus
+// label escaping and validates the output line-by-line against the
+// text format grammar, with the structural invariants a scraper
+// relies on: HELP/TYPE exactly once per family and before its
+// samples, cumulative monotone buckets, _count equal to the +Inf
+// bucket.
+func TestGrammar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("g_total", "A counter.").Add(7)
+	r.Gauge("g_gauge", "A gauge.").Set(-3.25)
+	r.CounterVec("g_labeled_total", `Tricky label values.`, "path", "why").
+		With(`quote " backslash \ newline`+"\n", "ok").Inc()
+	hv := r.HistogramVec("g_seconds", "A histogram.", nil, "stage")
+	hv.With("init").Observe(0.003)
+	hv.With("features").Observe(2)
+	hv.With("features").Observe(120) // past the largest DefBucket
+
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("exposition must end in a newline")
+	}
+
+	helpSeen := map[string]bool{}
+	typeSeen := map[string]string{}
+	samples := map[string]float64{} // full sample line key -> value
+	var lastInf map[string]float64 = map[string]float64{}
+	var lastCum float64
+	var curHistSeries string
+	for i, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			if !helpRe.MatchString(line) {
+				t.Fatalf("line %d: HELP fails grammar: %q", i+1, line)
+			}
+			name := strings.Fields(line)[2]
+			if helpSeen[name] {
+				t.Errorf("duplicate HELP for %s", name)
+			}
+			helpSeen[name] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			m := typeRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: TYPE fails grammar: %q", i+1, line)
+			}
+			if _, dup := typeSeen[m[1]]; dup {
+				t.Errorf("duplicate TYPE for %s", m[1])
+			}
+			typeSeen[m[1]] = m[2]
+		default:
+			m := sampleRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: sample fails grammar: %q", i+1, line)
+			}
+			name, labels, valStr := m[1], m[2], m[3]
+			base := name
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if b := strings.TrimSuffix(name, suf); b != name && typeSeen[b] == "histogram" {
+					base = b
+				}
+			}
+			if typeSeen[base] == "" {
+				t.Errorf("sample %s before (or without) its TYPE line", name)
+			}
+			v, err := strconv.ParseFloat(valStr, 64)
+			if err != nil && valStr != "NaN" && !strings.Contains(valStr, "Inf") {
+				t.Errorf("line %d: unparseable value %q", i+1, valStr)
+			}
+			samples[name+labels] = v
+			// Cumulative-bucket check: within one histogram series the
+			// renderer emits buckets in ascending le order; values must
+			// be monotone and the +Inf bucket must equal _count.
+			if strings.HasSuffix(name, "_bucket") && typeSeen[base] == "histogram" {
+				series := base + stripLE(labels)
+				if series != curHistSeries {
+					curHistSeries = series
+					lastCum = 0
+				}
+				if v < lastCum {
+					t.Errorf("histogram %s buckets not cumulative: %v after %v", series, v, lastCum)
+				}
+				lastCum = v
+				if strings.Contains(labels, `le="+Inf"`) {
+					lastInf[series] = v
+				}
+			}
+			if strings.HasSuffix(name, "_count") && typeSeen[base] == "histogram" {
+				series := base + labels
+				if inf, ok := lastInf[series]; !ok || inf != v {
+					t.Errorf("histogram %s: _count %v != +Inf bucket %v", series, v, lastInf[series])
+				}
+			}
+		}
+	}
+	// Every family carries both metadata lines.
+	for name := range typeSeen {
+		if !helpSeen[name] {
+			t.Errorf("family %s has TYPE but no HELP", name)
+		}
+	}
+	if len(samples) == 0 {
+		t.Fatal("no samples rendered")
+	}
+}
+
+// stripLE drops the trailing le label a _bucket line carries, leaving
+// the series identity shared with _sum/_count.
+func stripLE(labels string) string {
+	i := strings.Index(labels, `le="`)
+	if i < 0 {
+		return labels
+	}
+	prefix := strings.TrimSuffix(labels[:i], ",")
+	if prefix == "{" {
+		return ""
+	}
+	return prefix + "}"
+}
+
+// TestNilRegistryNoOp: the zero-cost library path — a nil registry
+// hands out nil collectors, every method no-ops, rendering is empty.
+func TestNilRegistryNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Errorf("nil counter value = %d", c.Value())
+	}
+	g := r.Gauge("x", "")
+	g.Set(3)
+	g.Inc()
+	g.Dec()
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Errorf("nil gauge value = %v", g.Value())
+	}
+	h := r.Histogram("x_seconds", "", nil)
+	h.Observe(1)
+	if h.Count() != 0 {
+		t.Errorf("nil histogram count = %d", h.Count())
+	}
+	r.CounterVec("xv_total", "", "l").With("a").Inc()
+	r.GaugeVec("xv", "", "l").With("a").Set(1)
+	r.HistogramVec("xv_seconds", "", nil, "l").With("a").Observe(1)
+	var buf bytes.Buffer
+	if n, err := r.WriteTo(&buf); n != 0 || err != nil || buf.Len() != 0 {
+		t.Errorf("nil WriteTo = (%d, %v), %d bytes", n, err, buf.Len())
+	}
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Errorf("nil handler status %d", rec.Code)
+	}
+}
+
+// TestRegistryIdempotentAndPanics: re-registering the same family
+// returns the same series; a kind mismatch is a programming error.
+func TestRegistryIdempotentAndPanics(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same_total", "h")
+	b := r.Counter("same_total", "h")
+	if a != b {
+		t.Error("re-registered counter is a different instance")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Error("re-registered counter does not share state")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("same_total", "h")
+}
+
+// TestHistogramBucketing pins observations to the right buckets,
+// including the exact-boundary (le is inclusive) and overflow cases.
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("hb_seconds", "h", []float64{1, 2})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`hb_seconds_bucket{le="1"} 2`,
+		`hb_seconds_bucket{le="2"} 4`,
+		`hb_seconds_bucket{le="+Inf"} 5`,
+		`hb_seconds_sum 8`,
+		`hb_seconds_count 5`,
+	} {
+		if !strings.Contains(buf.String(), want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestConcurrentUse hammers one registry from many goroutines while
+// rendering concurrently; meaningful under -race, and the final
+// counts must be exact (no lost updates).
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cc_total", "h")
+	cv := r.CounterVec("ccv_total", "h", "who")
+	g := r.Gauge("cg", "h")
+	h := r.Histogram("ch_seconds", "h", []float64{0.5})
+	const workers, iters = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			who := strconv.Itoa(w % 4)
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				cv.With(who).Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(0.25)
+				if i%100 == 0 {
+					var buf bytes.Buffer
+					if _, err := r.WriteTo(&buf); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*iters {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*iters)
+	}
+	if g.Value() != 0 {
+		t.Errorf("gauge = %v, want 0", g.Value())
+	}
+	if h.Count() != workers*iters {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*iters)
+	}
+	var total uint64
+	for w := 0; w < 4; w++ {
+		total += cv.With(strconv.Itoa(w)).Value()
+	}
+	if total != workers*iters {
+		t.Errorf("vec total = %d, want %d", total, workers*iters)
+	}
+}
+
+// TestGaugeSpecials: gauges render NaN and infinities in the spelling
+// the format requires.
+func TestGaugeSpecials(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("gs_inf", "h").Set(math.Inf(1))
+	r.Gauge("gs_nan", "h").Set(math.NaN())
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "gs_inf +Inf\n") {
+		t.Errorf("missing +Inf rendering:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "gs_nan NaN\n") {
+		t.Errorf("missing NaN rendering:\n%s", buf.String())
+	}
+}
+
+// TestLoggerConstruction: formats and levels resolve, bad values are
+// flag-time errors, and levels gate emission.
+func TestLoggerConstruction(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "json", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("dropped")
+	lg.Warn("kept", "k", "v")
+	if strings.Contains(buf.String(), "dropped") {
+		t.Error("info leaked through warn level")
+	}
+	if !strings.Contains(buf.String(), `"msg":"kept"`) || !strings.Contains(buf.String(), `"k":"v"`) {
+		t.Errorf("json record malformed: %s", buf.String())
+	}
+	buf.Reset()
+	lg, err = NewLogger(&buf, "text", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hello", "n", 3)
+	if !strings.Contains(buf.String(), "msg=hello") {
+		t.Errorf("text record malformed: %s", buf.String())
+	}
+	if _, err := NewLogger(&buf, "xml", ""); err == nil {
+		t.Error("bad format accepted")
+	}
+	if _, err := NewLogger(&buf, "", "loud"); err == nil {
+		t.Error("bad level accepted")
+	}
+	NopLogger().Info("nowhere")
+}
+
+// TestNewRequestID: ids are 16 hex chars and distinct.
+func TestNewRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("id lengths %d, %d", len(a), len(b))
+	}
+	if a == b {
+		t.Error("consecutive ids collide")
+	}
+	if _, err := strconv.ParseUint(a, 16, 64); err != nil {
+		t.Errorf("id %q not hex", a)
+	}
+}

@@ -1,0 +1,27 @@
+package release
+
+import "dpkron/internal/obs"
+
+// cacheMetrics is the release cache's telemetry. Hits and misses are
+// counted on Get — the serving path — so the ratio is the fraction of
+// distinct-question fits answered at zero budget. Corrupt counts
+// validation-failed entries evicted for transparent recompute: a
+// nonzero rate means disk-level damage, not a privacy event (a
+// damaged release is never served). The zero value no-ops.
+type cacheMetrics struct {
+	hits    *obs.Counter
+	misses  *obs.Counter
+	corrupt *obs.Counter
+	puts    *obs.Counter
+}
+
+// Instrument registers the cache's metrics on reg. Call once, before
+// serving traffic; a nil reg leaves the cache uninstrumented.
+func (c *Cache) Instrument(reg *obs.Registry) {
+	c.met = cacheMetrics{
+		hits:    reg.Counter("dpkron_release_cache_hits_total", "Fit questions answered from the release cache (zero budget, zero compute)."),
+		misses:  reg.Counter("dpkron_release_cache_misses_total", "Release cache lookups that found no valid entry."),
+		corrupt: reg.Counter("dpkron_release_cache_corrupt_total", "Cache entries that failed validation and were evicted for recompute."),
+		puts:    reg.Counter("dpkron_release_cache_puts_total", "Releases stored into the cache."),
+	}
+}

@@ -142,6 +142,9 @@ type Entry struct {
 type Cache struct {
 	dir string
 	fs  faultfs.FS
+	// met carries the telemetry collectors installed by Instrument;
+	// the zero value no-ops.
+	met cacheMetrics
 
 	mu    sync.Mutex
 	lru   map[string]*Entry // fingerprint -> validated entry (immutable)
@@ -228,6 +231,7 @@ func (c *Cache) Put(key Key, payload any) (*Entry, error) {
 	c.mu.Lock()
 	c.remember(fp, e)
 	c.mu.Unlock()
+	c.met.puts.Inc()
 	return e, nil
 }
 
@@ -246,24 +250,29 @@ func (c *Cache) Get(key Key) (*Entry, bool) {
 		// `dpkron cache rm`) stops resolving, mirroring the dataset
 		// store's stat-before-serve.
 		if _, err := c.fs.Stat(c.entryPath(fp)); err == nil {
+			c.met.hits.Inc()
 			return e, true
 		}
 		c.mu.Lock()
 		c.forget(fp)
 		c.mu.Unlock()
+		c.met.misses.Inc()
 		return nil, false
 	}
 	c.mu.Unlock()
 	e, err := c.loadEntry(fp)
 	if err != nil {
 		if errors.Is(err, ErrCorrupt) {
+			c.met.corrupt.Inc()
 			c.evict(fp)
 		}
+		c.met.misses.Inc()
 		return nil, false
 	}
 	c.mu.Lock()
 	c.remember(fp, e)
 	c.mu.Unlock()
+	c.met.hits.Inc()
 	return e, true
 }
 

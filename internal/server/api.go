@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 
@@ -157,7 +158,7 @@ func featuresJSON(f stats.Features) *struct {
 func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	var req FitRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		s.decodeError(w, r, err)
 		return
 	}
 	if req.Method == "" {
@@ -337,14 +338,19 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 			// budget so clients can right-size their next request, and a
 			// Retry-After suited to budgets (a raise is an operator
 			// action, not a momentary spike).
+			rem := refused.Remaining()
+			s.rejectAdmission(r, rejectBudget, dataset, msg,
+				slog.Float64("remaining_eps", rem.Eps),
+				slog.Float64("remaining_delta", rem.Delta))
 			setRetryAfter(w, http.StatusTooManyRequests, true)
 			writeJSON(w, http.StatusTooManyRequests, map[string]any{
 				"error":     msg,
 				"dataset":   dataset,
-				"remaining": refused.Remaining(),
+				"remaining": rem,
 			})
 			return
 		}
+		s.rejectAdmission(r, rejectReason(status), dataset, msg)
 		setRetryAfter(w, status, false)
 		writeError(w, status, msg)
 		return
@@ -499,7 +505,7 @@ type GenerateResult struct {
 func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	var req GenerateRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		s.decodeError(w, r, err)
 		return
 	}
 	if req.Seed == 0 {
@@ -611,6 +617,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		return res, nil
 	}})
 	if j == nil {
+		s.rejectAdmission(r, rejectReason(status), "", msg)
 		setRetryAfter(w, status, false)
 		writeError(w, status, msg)
 		return
@@ -621,6 +628,24 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 // maxBodyBytes bounds request bodies (64 MiB covers multi-million-edge
 // lists while keeping a hostile POST from exhausting memory).
 const maxBodyBytes = 64 << 20
+
+// errBodyTooLarge marks a decode failure caused by the body cap —
+// raw or decompressed — so callers can answer 413 (and count the
+// rejection) instead of a generic 400.
+var errBodyTooLarge = errors.New("request body exceeds the size limit")
+
+// decodeError answers a failed decodeJSON: over-cap bodies are 413
+// Payload Too Large, counted and warn-logged as admission rejections
+// (these used to vanish as anonymous 400s); anything else is a plain
+// 400.
+func (s *Server) decodeError(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, errBodyTooLarge) {
+		s.rejectAdmission(r, rejectBodyTooLarge, "", err.Error())
+		writeError(w, http.StatusRequestEntityTooLarge, err.Error())
+		return
+	}
+	writeError(w, http.StatusBadRequest, err.Error())
+}
 
 // decodeJSON parses a request body, bounding its size and rejecting
 // unknown fields so typos in job specs fail fast instead of silently
@@ -654,7 +679,11 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		if lr != nil && lr.N <= 0 {
-			return fmt.Errorf("gzipped body decompresses past the %d-byte limit", maxBodyBytes)
+			return fmt.Errorf("%w: gzipped body decompresses past the %d-byte limit", errBodyTooLarge, maxBodyBytes)
+		}
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return fmt.Errorf("%w: body exceeds the %d-byte limit", errBodyTooLarge, maxBodyBytes)
 		}
 		return fmt.Errorf("invalid JSON body: %w", err)
 	}

@@ -60,8 +60,9 @@ func (s *Server) handleDatasetImport(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) || errors.Is(err, dataset.ErrTooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge,
-				fmt.Sprintf("upload exceeds the %d-byte limit", s.opts.MaxUploadBytes))
+			msg := fmt.Sprintf("upload exceeds the %d-byte limit", s.opts.MaxUploadBytes)
+			s.rejectAdmission(r, rejectBodyTooLarge, "", msg)
+			writeError(w, http.StatusRequestEntityTooLarge, msg)
 			return
 		}
 		writeError(w, http.StatusBadRequest, err.Error())

@@ -778,8 +778,19 @@ func TestServerUnjournaledTerminalNeverEvicted(t *testing.T) {
 		t.Fatalf("unjournaled terminal job was evicted: %d %v", code, job)
 	}
 	// The journaled middle job did get evicted, proving the bound is
-	// enforced for everything the journal holds.
-	if code, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+ids[1], nil); code != http.StatusNotFound {
-		t.Errorf("journaled job %s not evicted under MaxHistory=1: status %d", ids[1], code)
+	// enforced for everything the journal holds. Eviction happens in
+	// each job's finalize, which runs after its done status is already
+	// pollable — so the 404 is eventual, not immediate.
+	stop := time.Now().Add(30 * time.Second)
+	for {
+		code, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+ids[1], nil)
+		if code == http.StatusNotFound {
+			break
+		}
+		if time.Now().After(stop) {
+			t.Errorf("journaled job %s not evicted under MaxHistory=1: status %d", ids[1], code)
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -76,6 +76,7 @@ func (s *Server) serveReleaseLocked(w http.ResponseWriter, key release.Key) bool
 			if st == StatusDone {
 				status = http.StatusOK
 			}
+			s.met.coalesced.Inc()
 			writeJSON(w, status, j.view())
 			return true
 		}

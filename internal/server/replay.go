@@ -1,8 +1,10 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"strings"
 
 	"dpkron/internal/graph"
@@ -57,9 +59,14 @@ func (s *Server) replay() {
 		}
 		s.jobs[j.id] = j
 		s.order = append(s.order, j.id)
+		s.met.replayedJobs.Inc()
 	}
 	s.evictHistoryLocked()
 	s.mu.Unlock()
+	if len(states) > 0 {
+		s.log.LogAttrs(context.Background(), slog.LevelInfo, "journal replayed",
+			slog.Int("jobs", len(states)), slog.Int("unfinished", len(unfinished)))
+	}
 	for _, st := range unfinished {
 		s.resume(st)
 	}
@@ -171,7 +178,9 @@ func (s *Server) resume(st *journal.JobState) {
 	}
 	if j == nil {
 		s.closeUnresumable(st, "resume refused: "+msg)
+		return
 	}
+	s.met.resumedJobs.Inc()
 }
 
 // closeUnresumable journals an explicit failure for a job that cannot

@@ -79,12 +79,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
+	"time"
 
 	"dpkron/internal/accountant"
 	"dpkron/internal/dataset"
 	"dpkron/internal/journal"
+	"dpkron/internal/obs"
 	"dpkron/internal/parallel"
 	"dpkron/internal/pipeline"
 	"dpkron/internal/release"
@@ -138,6 +141,17 @@ type Options struct {
 	// most once). The caller owns the journal's lifecycle and must keep
 	// it open until after Close/Drain returns.
 	Journal *journal.Journal
+	// Metrics, when set, instruments the whole serving tier on the
+	// registry — HTTP middleware, the job manager, and every configured
+	// subsystem (ledger, dataset store, release cache, journal) — and
+	// mounts GET /metrics serving it in Prometheus text format. Nil
+	// keeps every instrumented path at its zero-cost no-op.
+	Metrics *obs.Registry
+	// Logger receives structured request, job and admission logs with
+	// per-request/per-job correlation ids. Nil discards them.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under GET /debug/pprof/.
+	EnablePprof bool
 }
 
 func (o *Options) fill() {
@@ -160,6 +174,8 @@ func (o *Options) fill() {
 type Server struct {
 	opts       Options
 	jobWorkers int
+	met        serverMetrics
+	log        *slog.Logger
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -197,12 +213,34 @@ func New(opts Options) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:      opts,
+		met:       newServerMetrics(opts.Metrics),
+		log:       opts.Logger,
 		ctx:       ctx,
 		cancel:    cancel,
 		slots:     make(chan struct{}, opts.MaxJobs),
 		jobs:      map[string]*job{},
 		flights:   map[string]*job{},
 		admitting: map[string]struct{}{},
+	}
+	if s.log == nil {
+		s.log = obs.NopLogger()
+	}
+	if opts.Metrics != nil {
+		// One wiring point instruments every configured subsystem, so
+		// `serve` gets the full metric surface from a single flag while
+		// library callers keep per-component control via Instrument.
+		if opts.Ledger != nil {
+			opts.Ledger.Instrument(opts.Metrics)
+		}
+		if opts.Datasets != nil {
+			opts.Datasets.Instrument(opts.Metrics)
+		}
+		if opts.Releases != nil {
+			opts.Releases.Instrument(opts.Metrics)
+		}
+		if opts.Journal != nil {
+			opts.Journal.Instrument(opts.Metrics)
+		}
 	}
 	// Split the budget across the job slots: a saturated server stays
 	// within Options.Workers total.
@@ -232,14 +270,23 @@ func New(opts Options) *Server {
 		s.mu.Unlock()
 		writeJSON(w, http.StatusOK, map[string]string{"status": status})
 	})
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	if opts.Metrics != nil {
+		s.mux.Handle("GET /metrics", opts.Metrics.Handler())
+	}
+	if opts.EnablePprof {
+		registerPprof(s.mux)
+	}
 	if opts.Journal != nil {
 		s.replay()
 	}
 	return s
 }
 
-// Handler returns the HTTP handler serving the job API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler serving the job API, wrapped in
+// the telemetry middleware (request ids, per-route metrics, access
+// logs — all no-ops when Options left Metrics and Logger unset).
+func (s *Server) Handler() http.Handler { return s.instrument(s.mux) }
 
 // Close cancels every queued and running job and waits for their
 // goroutines to drain.
@@ -296,6 +343,10 @@ const (
 type StageProgress struct {
 	Stage string  `json:"stage"`
 	Frac  float64 `json:"frac"`
+	// Seconds is the stage's wall-clock time so far (final once frac
+	// reaches 1) — the trace `dpkron job show -v` renders, matching
+	// the dpkron_job_stage_seconds histogram an operator scrapes.
+	Seconds float64 `json:"seconds,omitempty"`
 }
 
 type job struct {
@@ -305,17 +356,26 @@ type job struct {
 
 	mu     sync.Mutex
 	status string
-	stages []StageProgress
-	result any
-	errMsg string
+	// ran records that the job reached running (vs cancelled straight
+	// out of the queue) — it decides which gauge finalize decrements.
+	ran        bool
+	stages     []StageProgress
+	stageStart map[string]time.Time
+	result     any
+	errMsg     string
 	// journaled marks the terminal state as recorded in the journal;
 	// only journaled terminal jobs may be evicted from memory.
 	journaled bool
 }
 
-// sink returns the pipeline Sink recording stage progress on the job.
-func (j *job) sink() pipeline.Sink {
+// sink returns the pipeline Sink recording stage progress (and
+// per-stage wall-clock timing) on the job. A stage's clock starts at
+// its first event and its duration lands in stageSeconds when an
+// event reports frac >= 1 — tracing derived entirely from the
+// progress events the pipeline already emits.
+func (j *job) sink(stageSeconds *obs.HistogramVec) pipeline.Sink {
 	return func(e pipeline.Event) {
+		now := time.Now()
 		j.mu.Lock()
 		defer j.mu.Unlock()
 		for i := range j.stages {
@@ -323,22 +383,45 @@ func (j *job) sink() pipeline.Sink {
 				if e.Frac > j.stages[i].Frac {
 					j.stages[i].Frac = e.Frac
 				}
+				if start, ok := j.stageStart[e.Stage]; ok {
+					elapsed := now.Sub(start).Seconds()
+					j.stages[i].Seconds = elapsed
+					if e.Frac >= 1 {
+						stageSeconds.With(e.Stage).Observe(elapsed)
+						delete(j.stageStart, e.Stage)
+					}
+				}
 				return
 			}
 		}
+		if j.stageStart == nil {
+			j.stageStart = map[string]time.Time{}
+		}
 		j.stages = append(j.stages, StageProgress{Stage: e.Stage, Frac: e.Frac})
+		if e.Frac >= 1 {
+			// A stage whose very first event is completion: zero-length.
+			stageSeconds.With(e.Stage).Observe(0)
+			return
+		}
+		j.stageStart[e.Stage] = now
 	}
 }
 
 // setStatus transitions the job unless it already reached a terminal
 // state: a DELETE that marked a queued job cancelled must not be
-// overwritten by the goroutine racing into "running".
-func (j *job) setStatus(status string) {
+// overwritten by the goroutine racing into "running". Returns whether
+// the transition applied.
+func (j *job) setStatus(status string) bool {
 	j.mu.Lock()
-	if !terminalStatus(j.status) {
-		j.status = status
+	defer j.mu.Unlock()
+	if terminalStatus(j.status) {
+		return false
 	}
-	j.mu.Unlock()
+	j.status = status
+	if status == StatusRunning {
+		j.ran = true
+	}
+	return true
 }
 
 func terminalStatus(s string) bool {
@@ -499,6 +582,11 @@ func (s *Server) submit(spec jobSpec) (*job, int, string) {
 	delete(s.admitting, id)
 	s.wg.Add(1)
 	s.mu.Unlock()
+	s.met.jobsSubmitted.With(spec.kind).Inc()
+	s.met.jobsQueued.Inc()
+	s.log.LogAttrs(context.Background(), slog.LevelInfo, "job admitted",
+		slog.String("job_id", id), slog.String("kind", spec.kind),
+		slog.String("dataset", spec.dataset), slog.Bool("replayed", spec.replayed))
 	fn := spec.fn
 
 	go func() {
@@ -518,14 +606,17 @@ func (s *Server) submit(spec jobSpec) (*job, int, string) {
 			j.setStatus(StatusCancelled)
 			return
 		}
-		j.setStatus(StatusRunning)
+		if j.setStatus(StatusRunning) {
+			s.met.jobsQueued.Dec()
+			s.met.jobsRunning.Inc()
+		}
 		if s.opts.Journal != nil {
 			// Recoverable by re-execution, so async: a lost running
 			// record only costs replay the knowledge that the fit had
 			// started.
 			_ = s.opts.Journal.Append(journal.Record{Job: j.id, State: journal.StateRunning}, false)
 		}
-		sink := j.sink()
+		sink := j.sink(s.met.stageSeconds)
 		if s.opts.EventLog != nil {
 			inner := sink
 			id := j.id
@@ -582,6 +673,26 @@ func randomSuffix() string {
 func (s *Server) finalize(j *job) {
 	j.cancel()
 	s.journalTerminal(j, true)
+	j.mu.Lock()
+	status, ran, errMsg := j.status, j.ran, j.errMsg
+	j.mu.Unlock()
+	if ran {
+		s.met.jobsRunning.Dec()
+	} else {
+		s.met.jobsQueued.Dec()
+	}
+	s.met.jobsCompleted.With(j.kind, status).Inc()
+	attrs := []slog.Attr{
+		slog.String("job_id", j.id),
+		slog.String("kind", j.kind),
+		slog.String("status", status),
+	}
+	level := slog.LevelInfo
+	if errMsg != "" {
+		attrs = append(attrs, slog.String("error", errMsg))
+		level = slog.LevelWarn
+	}
+	s.log.LogAttrs(context.Background(), level, "job finished", attrs...)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.active--

@@ -783,8 +783,8 @@ func TestServerGzipJSONBodyOverCap(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("over-cap gzip body: status %d (%v)", resp.StatusCode, out)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-cap gzip body: status %d, want 413 (%v)", resp.StatusCode, out)
 	}
 	if msg, _ := out["error"].(string); !strings.Contains(msg, "decompresses past") {
 		t.Errorf("over-cap gzip body error %q does not name the limit", msg)

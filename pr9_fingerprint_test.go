@@ -1,0 +1,161 @@
+package dpkron_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dpkron/internal/obs"
+	"dpkron/internal/server"
+)
+
+// PR 9 threads telemetry (metrics, structured logs, stage tracing,
+// pprof) through every serving layer. Observation must never perturb
+// the observed: a fit served by a fully instrumented server — registry
+// attached, logger running, pprof mounted — must release the exact
+// PR 2 bits. This test re-pins the historical fingerprints through the
+// instrumented HTTP path.
+
+// TestFingerprintInstrumentedServer fits the PR 2 graph (eps=0.5,
+// delta=0.01, k=10, seed=9) through a server with every observability
+// feature enabled and checks the released initiator and features
+// against the PR 2 pins.
+func TestFingerprintInstrumentedServer(t *testing.T) {
+	const (
+		wantInit  = uint64(0x1c23d17293445957)
+		wantFeats = uint64(0x297d918e6156a3fb)
+	)
+	g := fpGraphK10(t)
+	var el strings.Builder
+	if err := g.WriteEdgeList(&el); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	logger, err := obs.NewLogger(io.Discard, "json", "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Options{
+		Workers:     4,
+		MaxJobs:     2,
+		MaxQueue:    8,
+		Metrics:     reg,
+		Logger:      logger,
+		EnablePprof: true,
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, err := json.Marshal(map[string]any{
+		"method": "private", "eps": 0.5, "delta": 0.01,
+		"k": 10, "seed": 9, "edgelist": el.String(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/fit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Error("fit response carries no X-Request-ID")
+	}
+	var job struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("fit submit: status %d", resp.StatusCode)
+	}
+
+	var result struct {
+		Initiator struct{ A, B, C float64 } `json:"initiator"`
+		Features  *struct {
+			E, H, T, Delta float64
+		} `json:"features"`
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		r2, err := http.Get(ts.URL + "/v1/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v struct {
+			Status string          `json:"status"`
+			Error  string          `json:"error"`
+			Result json.RawMessage `json:"result"`
+		}
+		if err := json.NewDecoder(r2.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		r2.Body.Close()
+		if v.Status == "done" {
+			if err := json.Unmarshal(v.Result, &result); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		if v.Status == "failed" || v.Status == "cancelled" {
+			t.Fatalf("fit job %s: %s (%s)", job.ID, v.Status, v.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fit job %s did not finish", job.ID)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	if fp := fpHashFloats(result.Initiator.A, result.Initiator.B, result.Initiator.C); fp != wantInit {
+		t.Errorf("instrumented init fingerprint = %#x, want %#x (PR 2)", fp, wantInit)
+	}
+	if result.Features == nil {
+		t.Fatal("fit result carries no features")
+	}
+	if fp := fpHashFloats(result.Features.E, result.Features.H, result.Features.T, result.Features.Delta); fp != wantFeats {
+		t.Errorf("instrumented features fingerprint = %#x, want %#x (PR 2)", fp, wantFeats)
+	}
+
+	// The exposition must cover the serving tier: one family per
+	// instrumented subsystem present in this configuration.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	raw, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, fam := range []string{
+		"dpkron_http_requests_total",
+		"dpkron_http_request_seconds",
+		"dpkron_jobs_submitted_total",
+		"dpkron_jobs_completed_total",
+		"dpkron_job_stage_seconds",
+	} {
+		if !strings.Contains(text, "# TYPE "+fam) {
+			t.Errorf("/metrics is missing family %s", fam)
+		}
+	}
+
+	// pprof is mounted and answers.
+	presp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline: status %d", presp.StatusCode)
+	}
+}

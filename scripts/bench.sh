@@ -4,10 +4,12 @@
 # PR 3's pipeline-overhead pairs, PR 4's mechanism-dispatch pairs,
 # PR 5's dataset text-parse vs binary-load pairs, PR 6's release
 # cache cold-fit vs cached-fit pairs, PR 7's journal plain vs
-# journaled job-lifecycle pairs and PR 8's out-of-core pairs — v1
+# journaled job-lifecycle pairs, PR 8's out-of-core pairs — v1
 # decode vs v2 mmap open, and in-memory vs streamed generate-to-store
-# with peak-heap gauges) and writes their numbers to BENCH_8.json so
-# future PRs have a recorded trajectory to compare against.
+# with peak-heap gauges — and PR 9's uninstrumented vs fully
+# instrumented job-lifecycle pairs) and writes their numbers to
+# BENCH_9.json so future PRs have a recorded trajectory to compare
+# against.
 #
 # Usage: scripts/bench.sh [output.json]
 #
@@ -29,6 +31,12 @@
 #               family: the journal's per-job cost is two fsyncs (a
 #               fixed handful of ms) against a ~1.4 s fit, so a
 #               min-of-three keeps the journal_over_plain ratio
+#               noise-robust
+#   OBS_COUNT
+#               repetition count (default 3) for the ObsOverhead
+#               family: telemetry's per-job cost is a handful of atomic
+#               updates and one log record against a ~1.4 s fit, so a
+#               min-of-three keeps the instrumented_over_plain ratio
 #               noise-robust
 #   STREAM_BENCHTIME
 #               benchtime (default 1x) for the StreamingGenerate
@@ -70,7 +78,12 @@
 # (admission through completion of a K=15 private fit over the HTTP
 # API) on a journaling server to the same lifecycle without a journal
 # (PR 7's acceptance bound is <= 1.02 — durability's two fsyncs per
-# job must disappear into the fit). The MmapLoad family is paired into
+# job must disappear into the fit). The ObsOverhead family is paired
+# into an "obs_overhead" section: instrumented_over_plain is the ns/op
+# ratio of the same lifecycle on a server carrying the full PR 9
+# telemetry surface (metrics registry, JSON logging, pprof mounted) to
+# an uninstrumented one (PR 9's acceptance bound is <= 1.02). The
+# MmapLoad family is paired into
 # a "mmap_load" section: v1_over_v2 is the ns ratio of a full v1
 # read+decode to a v2 mmap open of the same graph (PR 8's acceptance
 # bar is >= 10 at k=18 — the v2 open is O(1) in the graph, so the
@@ -84,7 +97,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_8.json}"
+out="${1:-BENCH_9.json}"
 benchtime="${BENCHTIME:-3x}"
 dispatch_benchtime="${DISPATCH_BENCHTIME:-500x}"
 stream_benchtime="${STREAM_BENCHTIME:-1x}"
@@ -99,6 +112,8 @@ go test -run=NONE -bench='ReleaseCache' \
   -benchtime="$benchtime" -count="${RELEASE_COUNT:-3}" . | tee -a "$raw" >&2
 go test -run=NONE -bench='JournalOverhead' \
   -benchtime="$benchtime" -count="${JOURNAL_COUNT:-3}" . | tee -a "$raw" >&2
+go test -run=NONE -bench='ObsOverhead' \
+  -benchtime="$benchtime" -count="${OBS_COUNT:-3}" . | tee -a "$raw" >&2
 go test -run=NONE -bench='StreamingGenerate' \
   -benchtime="$stream_benchtime" -count=1 . | tee -a "$raw" >&2
 
@@ -133,7 +148,7 @@ BEGIN {
   }
   n = 0
 }
-/^Benchmark(GraphBuild|KronFitMetropolis|BallDropN|PipelineOverhead|MechanismDispatch|DatasetLoad|ReleaseCache|JournalOverhead|MmapLoad|StreamingGenerate)\// {
+/^Benchmark(GraphBuild|KronFitMetropolis|BallDropN|PipelineOverhead|MechanismDispatch|DatasetLoad|ReleaseCache|JournalOverhead|ObsOverhead|MmapLoad|StreamingGenerate)\// {
   name = $1
   sub(/^Benchmark/, "", name)
   sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
@@ -169,7 +184,7 @@ END {
   "go env GOVERSION" | getline gover
   "date -u +%Y-%m-%dT%H:%M:%SZ" | getline stamp
   printf "{\n"
-  printf "  \"pr\": 8,\n"
+  printf "  \"pr\": 9,\n"
   printf "  \"generated\": \"%s\",\n", stamp
   printf "  \"go\": \"%s\",\n", gover
   printf "  \"benchtime\": \"%s\",\n", benchtime
@@ -305,6 +320,32 @@ END {
     journal = ns_by_name[stem "-journal"] + 0
     printf "    {\"job\": \"%s\", \"plain_ns_op\": %.0f, \"journal_ns_op\": %.0f, \"journal_over_plain\": %.4f}%s\n", \
       short, plain, journal, journal / plain, (i < nj - 1 ? "," : "")
+  }
+  printf "  ],\n"
+  # Matched plain/instrumented pairs -> telemetry overhead on the
+  # serving path (PR 9 acceptance bound: instrumented_over_plain
+  # <= 1.02).
+  printf "  \"obs_overhead\": [\n"
+  no = 0
+  for (name in ns_by_name) {
+    if (name ~ /^ObsOverhead\/.*-plain$/) {
+      stem = name
+      sub(/-plain$/, "", stem)
+      oname = stem "-instrumented"
+      if (oname in ns_by_name) opairs[no++] = stem
+    }
+  }
+  for (i = 0; i < no; i++)
+    for (j = i + 1; j < no; j++)
+      if (opairs[j] < opairs[i]) { tmp = opairs[i]; opairs[i] = opairs[j]; opairs[j] = tmp }
+  for (i = 0; i < no; i++) {
+    stem = opairs[i]
+    short = stem
+    sub(/^ObsOverhead\//, "", short)
+    plain = ns_by_name[stem "-plain"] + 0
+    inst = ns_by_name[stem "-instrumented"] + 0
+    printf "    {\"job\": \"%s\", \"plain_ns_op\": %.0f, \"instrumented_ns_op\": %.0f, \"instrumented_over_plain\": %.4f}%s\n", \
+      short, plain, inst, inst / plain, (i < no - 1 ? "," : "")
   }
   printf "  ],\n"
   # Matched v1decode/v2open pairs -> mmap open speedups (PR 8
