@@ -449,7 +449,7 @@ func TestJobWaitBackoffHonorsRetryAfter(t *testing.T) {
 	defer ts.Close()
 
 	start := time.Now()
-	if err := jobWait(ts.URL, "job-1", 30*time.Second); err != nil {
+	if err := jobWait(ts.URL, "job-1", 30*time.Second, false); err != nil {
 		t.Fatalf("jobWait: %v", err)
 	}
 	if elapsed := time.Since(start); elapsed < 2*time.Second {

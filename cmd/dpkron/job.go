@@ -3,19 +3,24 @@
 //
 //	dpkron job list   -server URL
 //	dpkron job show   -server URL -id job-N
-//	dpkron job wait   -server URL -id job-N [-timeout D]
+//	dpkron job wait   -server URL -id job-N [-timeout D] [-progress]
+//	dpkron job trace  -server URL -id job-N [-chrome FILE] [-width N]
 //	dpkron job cancel -server URL -id job-N
 //
 // `wait` polls with jittered exponential backoff and honors the
 // server's Retry-After header on 429 (budget or queue pressure) and
 // 503 (draining for shutdown) responses, so a fleet of waiting
-// clients neither hammers a busy server nor synchronizes its retries.
+// clients neither hammers a busy server nor synchronizes its retries;
+// with -progress it streams the job's stage transitions to stderr as
+// they appear in the polled views. `trace` renders the job's span
+// tree (see trace.go).
 package main
 
 import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"net/http"
 	"os"
@@ -50,6 +55,9 @@ func cmdJob(args []string) error {
 	id := fs.String("id", "", "job id (required for show, wait and cancel)")
 	timeout := fs.Duration("timeout", 10*time.Minute, "wait: give up after this long")
 	verbose := fs.Bool("v", false, "show: also print per-stage progress and timings")
+	progress := fs.Bool("progress", false, "wait: stream stage-progress transitions to stderr while polling")
+	chrome := fs.String("chrome", "", "trace: write the Chrome/Perfetto trace-event export to this file instead of rendering")
+	width := fs.Int("width", 48, "trace: waterfall bar-area width in columns")
 	action := ""
 	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
 		action, args = args[0], args[1:]
@@ -58,11 +66,11 @@ func cmdJob(args []string) error {
 		return err
 	}
 	switch action {
-	case "list", "show", "wait", "cancel":
+	case "list", "show", "wait", "trace", "cancel":
 	case "":
-		return usagef(fs, "an action is required (list, show, wait or cancel)")
+		return usagef(fs, "an action is required (list, show, wait, trace or cancel)")
 	default:
-		return usagef(fs, "unknown action %q (want list, show, wait or cancel)", action)
+		return usagef(fs, "unknown action %q (want list, show, wait, trace or cancel)", action)
 	}
 	if action != "list" && *id == "" {
 		return usagef(fs, "-id is required for %s", action)
@@ -78,10 +86,12 @@ func cmdJob(args []string) error {
 		}
 		printJobVerbose(os.Stdout, v, *verbose)
 		return nil
+	case "trace":
+		return jobTrace(base, *id, *chrome, *width)
 	case "cancel":
 		return jobCancel(base, *id)
 	default: // wait
-		return jobWait(base, *id, *timeout)
+		return jobWait(base, *id, *timeout, *progress)
 	}
 }
 
@@ -155,17 +165,24 @@ func jobCancel(base, id string) error {
 // trouble — connection refused (the server may be mid-restart,
 // replaying its journal), 429 back-pressure, 503 drain — is retried
 // with jittered exponential backoff, capped and reset on success; a
-// Retry-After header overrides the computed delay.
-func jobWait(base, id string, timeout time.Duration) error {
+// Retry-After header overrides the computed delay. With progress set,
+// stage transitions observed between polls stream to stderr in the
+// shared [stage] format.
+func jobWait(base, id string, timeout time.Duration, progress bool) error {
 	deadline := time.Now().Add(timeout)
 	delay := 50 * time.Millisecond
 	const maxDelay = 5 * time.Second
+	var stream *stageStreamer
+	if progress {
+		stream = newStageStreamer(os.Stderr)
+	}
 	for {
 		v, retryAfter, err := jobGetRetryable(base, id)
 		if err != nil {
 			return err
 		}
 		if v != nil {
+			stream.observe(v.Stages)
 			switch v.Status {
 			case "done":
 				printJob(os.Stdout, v, false)
@@ -187,6 +204,54 @@ func jobWait(base, id string, timeout time.Duration) error {
 			return fmt.Errorf("timed out after %s waiting for job %s", timeout, id)
 		}
 		time.Sleep(sleep)
+	}
+}
+
+// stageStreamer turns successive polled stage views into the CLI's
+// [stage] transition lines: first sight announces the stage, coarse
+// (>= 25%) fraction steps report progress, completion reports the
+// stage's wall-clock seconds. Polls that skip intermediate states
+// print only what the latest view shows — the stream is a digest,
+// not a replay. A nil streamer ignores everything.
+type stageStreamer struct {
+	w    io.Writer
+	last map[string]float64 // last printed frac; >= 1 means done printed
+}
+
+func newStageStreamer(w io.Writer) *stageStreamer {
+	return &stageStreamer{w: w, last: map[string]float64{}}
+}
+
+func (s *stageStreamer) observe(stages []stageView) {
+	if s == nil {
+		return
+	}
+	for _, st := range stages {
+		prev, seen := s.last[st.Stage]
+		switch {
+		case prev >= 1:
+			// already reported done
+		case st.Frac >= 1:
+			if !seen {
+				fmt.Fprintf(s.w, "[stage] %s ...\n", st.Stage)
+			}
+			if st.Seconds > 0 {
+				fmt.Fprintf(s.w, "[stage] %s done (%.3fs)\n", st.Stage, st.Seconds)
+			} else {
+				fmt.Fprintf(s.w, "[stage] %s done\n", st.Stage)
+			}
+			s.last[st.Stage] = 1
+		case !seen:
+			fmt.Fprintf(s.w, "[stage] %s ...\n", st.Stage)
+			s.last[st.Stage] = 0
+			if st.Frac >= 0.25 {
+				fmt.Fprintf(s.w, "[stage] %s %3.0f%%\n", st.Stage, st.Frac*100)
+				s.last[st.Stage] = st.Frac
+			}
+		case st.Frac-prev >= 0.25:
+			fmt.Fprintf(s.w, "[stage] %s %3.0f%%\n", st.Stage, st.Frac*100)
+			s.last[st.Stage] = st.Frac
+		}
 	}
 }
 

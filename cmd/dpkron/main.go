@@ -13,8 +13,9 @@
 //	dpkron sweep   [-dataset NAME] [-trials N]
 //	dpkron ssgrowth [-kmin K] [-kmax K]
 //	dpkron sscompare [-kmin K] [-kmax K]
-//	dpkron serve   [-addr HOST:PORT] [-max-jobs N] [-ledger FILE] [-store DIR] [-release-cache DIR] [-journal FILE] [-drain-timeout D] [-metrics-addr HOST:PORT] [-pprof] [-log-format text|json] [-log-level L]
-//	dpkron job     <list|show|wait|cancel> -server URL [-id ID] [-v]
+//	dpkron serve   [-addr HOST:PORT] [-max-jobs N] [-ledger FILE] [-store DIR] [-release-cache DIR] [-journal FILE] [-trace] [-drain-timeout D] [-metrics-addr HOST:PORT] [-pprof] [-log-format text|json] [-log-level L]
+//	dpkron job     <list|show|wait|trace|cancel> -server URL [-id ID] [-v] [-progress] [-chrome FILE]
+//	dpkron audit   <dataset> -ledger FILE [-journal FILE]
 //	dpkron budget  <show|set|reset> -ledger FILE [-dataset ID] [-eps E] [-delta D]
 //	dpkron dataset <import|list|info|export|convert|rm> -store DIR [-in FILE|-] [-id ID] [-name S] [-out FILE] [-format v1|v2]
 //	dpkron cache   <list|info|rm> -dir DIR [-id ID]
@@ -73,7 +74,16 @@ import (
 	"dpkron/internal/skg"
 	"dpkron/internal/stats"
 	"dpkron/internal/textplot"
+	"dpkron/internal/trace"
 )
+
+// version identifies the build; release builds overwrite it with
+//
+//	go build -ldflags "-X main.version=v1.2.3"
+//
+// and it surfaces in `dpkron version` and the server's
+// dpkron_build_info metric.
+var version = "devel"
 
 // errUsage marks a user error that has already been reported together
 // with usage text; main turns it into exit status 2.
@@ -230,6 +240,8 @@ func main() {
 		err = cmdServe(args)
 	case "job":
 		err = cmdJob(args)
+	case "audit":
+		err = cmdAudit(args)
 	case "budget":
 		err = cmdBudget(args)
 	case "dataset":
@@ -238,6 +250,8 @@ func main() {
 		err = cmdCache(args)
 	case "datasets":
 		err = cmdDatasets(args)
+	case "version":
+		fmt.Printf("dpkron %s (%s, %s/%s)\n", version, runtime.Version(), runtime.GOOS, runtime.GOARCH)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -268,11 +282,13 @@ commands:
   ssgrowth   smooth sensitivity of triangles vs graph size
   sscompare  smooth sensitivity: SKG vs density-matched G(n,p)
   serve      run the HTTP/JSON estimation job service
-  job        list, show, wait for or cancel jobs on a running server
+  job        list, show, wait for, trace or cancel jobs on a running server
+  audit      chronological privacy-spend report for a dataset (ledger + journal)
   budget     show, set or reset a privacy-budget ledger
   dataset    import, list, inspect, export, convert or remove stored datasets
   cache      list, inspect or remove cached private-fit releases
   datasets   list the built-in evaluation datasets
+  version    print the build version
 
 shared flags (all long-running commands):
   -workers N     parallelism bound (results identical for any N)
@@ -735,6 +751,10 @@ func cmdServe(args []string) error {
 		"release cache directory; identical private fits coalesce and repeats are re-served at zero budget")
 	journalPath := fs.String("journal", "",
 		"job journal file; makes jobs durable across crashes (resume without a second debit) and restarts")
+	traceJobs := fs.Bool("trace", false,
+		"record per-job span traces (GET /v1/jobs/{id}/trace, `dpkron job trace`); bounded in-memory retention")
+	traceMax := fs.Int("trace-max", 0,
+		"with -trace, traces retained in memory (0 = default 512; evicted with job history)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second,
 		"on SIGINT/SIGTERM, how long running jobs may finish before being cancelled")
 	metricsAddr := fs.String("metrics-addr", "",
@@ -750,9 +770,18 @@ func cmdServe(args []string) error {
 		return err
 	}
 	reg := obs.NewRegistry()
+	// Build identity as a constant-1 gauge: `dpkron_build_info{version,
+	// go_version} 1` is the standard join key for "which build is this
+	// fleet running" dashboards.
+	reg.GaugeVec("dpkron_build_info", "Build metadata of the running dpkron binary; constant 1.",
+		"version", "go_version").With(version, runtime.Version()).Set(1)
 	opts := server.Options{
 		Workers: *pf.workers, MaxJobs: *maxJobs, MaxQueue: *maxQueue, MaxHistory: *maxHistory,
 		Metrics: reg, Logger: logger, EnablePprof: *enablePprof,
+	}
+	if *traceJobs {
+		opts.Traces = trace.NewStore(*traceMax)
+		fmt.Fprintln(os.Stderr, "dpkron serve: per-job tracing on (GET /v1/jobs/{id}/trace)")
 	}
 	if *ledgerPath != "" {
 		led, err := accountant.Open(*ledgerPath)

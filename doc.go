@@ -142,4 +142,28 @@
 // with or without instrumentation. `dpkron serve` flags: -metrics-addr,
 // -pprof, -log-format, -log-level; GET /readyz reports drain state
 // for load balancers, distinct from /healthz liveness.
+//
+// # Tracing and privacy audit
+//
+// On top of metrics and logs sits a dependency-free span tracer
+// (NewTracer): each server job records a tree of timed spans —
+// admission, journal append, ledger debit, release-cache lookup,
+// dataset load, queue wait, and one span per algorithm1/* pipeline
+// stage — and every privacy-budget debit or refusal lands on the tree
+// as an event carrying the mechanism name, the (ε, δ) charged and the
+// budget remaining, cross-referenced to the journaled receipt by its
+// idempotency token. A job's trace therefore doubles as its
+// privacy-audit timeline. The server joins W3C Trace Context: a valid
+// incoming traceparent header is adopted and echoed, so the job's
+// trace id is the caller's. Traces are retained in a bounded
+// in-memory TraceStore (NewTraceStore, server.Options.Traces; evicted
+// with job history) and exported three ways: GET /v1/jobs/{id}/trace
+// (the TraceTree JSON), ?format=chrome (WriteChromeTrace, loadable in
+// chrome://tracing and ui.perfetto.dev), and `dpkron job trace` (an
+// ASCII waterfall). `dpkron audit <dataset>` needs no server: it
+// replays the ledger's time-stamped receipts against the journal into
+// a chronological spend report naming the job and request that paid.
+// The observability discipline is unchanged: a nil tracer, span or
+// store no-ops everywhere, and traced runs release bit-identical
+// results.
 package dpkron

@@ -23,6 +23,7 @@ import (
 	"dpkron/internal/release"
 	"dpkron/internal/skg"
 	"dpkron/internal/stats"
+	"dpkron/internal/trace"
 )
 
 // Re-exported types forming the supported public API. The concrete
@@ -118,6 +119,24 @@ type (
 	// to server.Options.Metrics to instrument the whole serving tier;
 	// a nil registry makes every metric operation a no-op.
 	MetricsRegistry = obs.Registry
+	// Tracer records one trace: a tree of timed spans with attributes
+	// and point events. Every method on a nil *Tracer (and on the nil
+	// *TraceSpan it hands out) is a no-op, so tracing can be threaded
+	// unconditionally and enabled by construction.
+	Tracer = trace.Tracer
+	// TraceSpan is one timed operation in a Tracer's tree; audit
+	// events (ε/δ debits) attach here.
+	TraceSpan = trace.Span
+	// TraceTree is a Tracer's exportable snapshot — the JSON shape
+	// GET /v1/jobs/{id}/trace serves and WriteChromeTrace consumes.
+	TraceTree = trace.Tree
+	// TraceStore is a bounded in-memory map of job id → Tracer; hand
+	// one to server.Options.Traces to retain per-job traces (evicted
+	// with job history).
+	TraceStore = trace.Store
+	// TraceContext is a W3C Trace Context identity (trace id, span
+	// id, flags) as parsed from / rendered to a traceparent header.
+	TraceContext = trace.Context
 )
 
 // NewRand returns a deterministic random source for the given seed.
@@ -132,6 +151,27 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 // Prometheus text exposition format (version 0.0.4) — mount it at
 // GET /metrics. A nil registry serves an empty exposition.
 func MetricsHandler(reg *MetricsRegistry) http.Handler { return reg.Handler() }
+
+// NewTracer returns a tracer for one traced operation. Pass the
+// TraceContext parsed from an incoming traceparent header to join the
+// caller's trace (ParseTraceparent), or the zero TraceContext to
+// start a fresh one with a random trace id.
+func NewTracer(ctx TraceContext) *Tracer { return trace.New(ctx) }
+
+// NewTraceStore returns a bounded trace store (max <= 0 selects the
+// default of 512 traces); hand it to server.Options.Traces to enable
+// GET /v1/jobs/{id}/trace and the CLI's `job trace` waterfall.
+func NewTraceStore(max int) *TraceStore { return trace.NewStore(max) }
+
+// ParseTraceparent parses a W3C traceparent header value. ok reports
+// whether it was well-formed; the parser never panics on hostile
+// input.
+func ParseTraceparent(h string) (TraceContext, bool) { return trace.ParseTraceparent(h) }
+
+// WriteChromeTrace writes tr in the Chrome trace-event JSON format
+// loadable by chrome://tracing and ui.perfetto.dev — the same export
+// GET /v1/jobs/{id}/trace?format=chrome serves.
+func WriteChromeTrace(w io.Writer, tr *TraceTree) error { return trace.WriteChrome(w, tr) }
 
 // NewStructuredLogger returns a *slog.Logger writing one record per
 // line to w. Format is "text" or "json"; level is "debug", "info",

@@ -28,6 +28,7 @@ package accountant
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"dpkron/internal/dp"
 	"dpkron/internal/randx"
@@ -166,6 +167,11 @@ type Receipt struct {
 	// journal record cannot double-charge on replay. Receipts attached
 	// to estimation results carry no token.
 	Token string `json:"token,omitempty"`
+	// Time, when set, records when the ledger accepted this spend. The
+	// Ledger stamps it at debit time; it feeds the chronological audit
+	// report (`dpkron audit`) and never participates in release keying
+	// (release.KeyFor reads only the charge parameters and policy).
+	Time *time.Time `json:"time,omitempty"`
 }
 
 // Accountant records mechanism charges, composes them under a Policy,
@@ -174,11 +180,22 @@ type Receipt struct {
 // records nothing and allows everything), so plumbing an optional
 // accountant through call sites needs no branching.
 type Accountant struct {
-	mu      sync.Mutex
-	policy  Policy
-	limit   *dp.Budget
-	charges []Charge
+	mu       sync.Mutex
+	policy   Policy
+	limit    *dp.Budget
+	observer Observer
+	charges  []Charge
 }
+
+// Observer receives every Charge decision an accountant makes: the
+// attempted charge, the budget remaining under the limit after the
+// decision (post-charge on success, unchanged on refusal; zero when
+// no limit is set), and the refusal error (nil on success). The
+// server uses this to record each debit/refusal on the job's trace as
+// a privacy-audit event. Observers run outside the accountant's lock,
+// after the decision is final, so they may call back into the
+// accountant; they must not themselves charge.
+type Observer func(c Charge, remaining dp.Budget, err error)
 
 // New returns an Accountant composing under policy (nil selects
 // Sequential) with no spending limit.
@@ -199,6 +216,18 @@ func (a *Accountant) WithLimit(b dp.Budget) *Accountant {
 	return a
 }
 
+// WithObserver sets the charge observer and returns the accountant.
+// Call before the first charge, like WithLimit.
+func (a *Accountant) WithObserver(fn Observer) *Accountant {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.observer = fn
+	return a
+}
+
 // Charge records one application of mechanism m against query. When a
 // limit is set and the new composed total would exceed it, the charge
 // is refused — nothing is recorded and the caller must not run the
@@ -212,14 +241,24 @@ func (a *Accountant) Charge(query string, m Mechanism) error {
 	if err := c.Budget().Validate(); err != nil {
 		return fmt.Errorf("accountant: invalid charge for %q: %w", query, err)
 	}
+	rem, observer, err := a.charge(c)
+	if observer != nil {
+		observer(c, rem, err)
+	}
+	return err
+}
+
+// charge is the locked decision core of Charge; it returns the
+// remaining budget after the decision and the observer to notify.
+func (a *Accountant) charge(c Charge) (dp.Budget, Observer, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.limit != nil {
 		total := a.policyLocked().Compose(append(a.charges, c))
 		if total.Eps > a.limit.Eps+budgetSlack || total.Delta > a.limit.Delta+budgetSlack {
 			spent := a.policyLocked().Compose(a.charges)
-			return &ExhaustedError{
-				Query:     query,
+			return remaining(*a.limit, spent), a.observer, &ExhaustedError{
+				Query:     c.Query,
 				Requested: c.Budget(),
 				Spent:     spent,
 				Limit:     *a.limit,
@@ -227,7 +266,11 @@ func (a *Accountant) Charge(query string, m Mechanism) error {
 		}
 	}
 	a.charges = append(a.charges, c)
-	return nil
+	var rem dp.Budget
+	if a.limit != nil {
+		rem = remaining(*a.limit, a.policyLocked().Compose(a.charges))
+	}
+	return rem, a.observer, nil
 }
 
 // budgetSlack absorbs float rounding when comparing composed spends to

@@ -305,6 +305,12 @@ func (l *Ledger) spend(dataset string, r Receipt) error {
 			acct = &Account{}
 			l.data.Datasets[dataset] = acct
 		}
+		// Stamp the acceptance instant: receipts in the ledger carry
+		// when each debit landed, giving `dpkron audit` a chronology
+		// even for spends no journal witnessed. Times never feed
+		// release keys, so fixed-seed fingerprints are unaffected.
+		now := l.fs.Now()
+		r.Time = &now
 		acct.Spent = dp.Compose(acct.Spent, r.Total)
 		acct.Receipts = append(acct.Receipts, r)
 		if err := l.persistLocked(); err != nil {

@@ -110,6 +110,12 @@ type Record struct {
 	// ReleaseKey is the release-cache key of the question, so a
 	// resumed fit lands its release under the identical fingerprint.
 	ReleaseKey *release.Key `json:"release_key,omitempty"`
+	// RequestID and TraceID tie the admission to the HTTP request that
+	// caused it (the X-Request-ID and W3C trace id the middleware
+	// assigned), so a crash-resumed job's trace links back to the
+	// originating request; admission records only.
+	RequestID string `json:"request_id,omitempty"`
+	TraceID   string `json:"trace_id,omitempty"`
 
 	// Error is the failure or cancellation reason; terminal records.
 	Error string `json:"error,omitempty"`

@@ -9,6 +9,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"dpkron/internal/accountant"
@@ -24,6 +25,7 @@ import (
 	"dpkron/internal/release"
 	"dpkron/internal/skg"
 	"dpkron/internal/stats"
+	"dpkron/internal/trace"
 )
 
 // FitRequest is the body of POST /v1/fit. The graph arrives as an
@@ -188,6 +190,11 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// The job's tracer joins the trace context the middleware already
+	// established (and echoed), so the trace id the client holds finds
+	// this job's span tree. Nil tracer/span when tracing is off — every
+	// use below no-ops.
+	tr, root := s.startJobTrace(r, "fit/"+method)
 	// Release-cache keying: a private fit's question is identified by
 	// the content fingerprint of (dataset bytes, ε, δ, policy,
 	// mechanism config, seed). The key is built before the graph is
@@ -219,21 +226,29 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 			if k > 0 {
 				relKey = release.KeyFor(req.DatasetID, req.Eps, req.Delta, k, req.Seed, core.PlannedReceipt(req.Eps, req.Delta))
 				haveKey = true
+				lk := tr.Start(root, "release-cache-lookup")
 				s.flightMu.Lock()
 				handled := s.serveReleaseLocked(w, relKey)
 				s.flightMu.Unlock()
+				lk.SetAttr(trace.String("hit", strconv.FormatBool(handled)))
+				lk.End()
 				if handled {
 					return
 				}
 			}
 		}
+		dsp := tr.Start(root, "dataset-load",
+			trace.String("dataset_id", req.DatasetID), trace.String("source", "store"))
 		g, err = st.Load(req.DatasetID)
+		dsp.End()
 		if err != nil {
 			datasetError(w, err)
 			return
 		}
 	} else {
+		dsp := tr.Start(root, "dataset-load", trace.String("source", "inline"))
 		g, err = req.graph()
+		dsp.End()
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
@@ -289,16 +304,25 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		req: req, method: method, dataset: dataset,
 		relKey: relKey, useCache: useCache,
 		loadGraph: func() (*graph.Graph, error) { return g, nil },
+		root:      root,
 	}
 	fn := s.fitFn(fj)
 	reqJSON, _ := json.Marshal(&req)
+	traceID := TraceContextFrom(r.Context()).TraceID
+	if tr != nil {
+		traceID = tr.TraceID()
+	}
 	spec := jobSpec{
-		kind:    "fit/" + method,
-		request: reqJSON,
-		dataset: dataset,
-		planned: planned,
-		admit:   admit,
-		fn:      fn,
+		kind:      "fit/" + method,
+		request:   reqJSON,
+		dataset:   dataset,
+		planned:   planned,
+		admit:     admit,
+		fn:        fn,
+		requestID: RequestIDFrom(r.Context()),
+		traceID:   traceID,
+		tr:        tr,
+		root:      root,
 	}
 	var j *job
 	var status int
@@ -319,11 +343,16 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 			defer s.forgetFlight(fp)
 			return inner(run)
 		}
+		lk := tr.Start(root, "release-cache-lookup", trace.String("fingerprint", fp))
 		s.flightMu.Lock()
 		if s.serveReleaseLocked(w, relKey) {
 			s.flightMu.Unlock()
+			lk.SetAttr(trace.String("hit", "true"))
+			lk.End()
 			return
 		}
+		lk.SetAttr(trace.String("hit", "false"))
+		lk.End()
 		j, status, msg = s.submit(spec)
 		if j != nil {
 			s.flights[fp] = j
@@ -376,6 +405,10 @@ type fitJob struct {
 	// the store or re-parses the recorded request — and a load failure
 	// becomes a journaled job failure, never silence.
 	loadGraph func() (*graph.Graph, error)
+	// root is the job's root trace span (nil when tracing is off):
+	// the run's accountant charges land on it as audit events, and the
+	// release-cache Put gets a span under it.
+	root *trace.Span
 }
 
 // fitFn builds the job closure executing the fit described by fj.
@@ -414,7 +447,11 @@ func (s *Server) fitFn(fj fitJob) func(run *pipeline.Run) (any, error) {
 			// The per-run accountant caps the run at exactly the budget
 			// the ledger was debited for — a belt-and-braces guarantee
 			// that no mechanism can spend beyond the admission debit.
-			acc := accountant.New(nil).WithLimit(dp.Budget{Eps: req.Eps, Delta: req.Delta})
+			// Its observer turns every charge into a privacy-audit event
+			// on the job's trace (a no-op observer when tracing is off).
+			acc := accountant.New(nil).
+				WithLimit(dp.Budget{Eps: req.Eps, Delta: req.Delta}).
+				WithObserver(auditObserver(fj.root))
 			res, err := core.EstimateCtx(run, g, core.Options{
 				Eps: req.Eps, Delta: req.Delta, K: req.K, Rng: rng, Accountant: acc,
 			})
@@ -427,7 +464,9 @@ func (s *Server) fitFn(fj fitJob) func(run *pipeline.Run) (any, error) {
 				// which reports ledger state at this moment, not part of
 				// the answer. A failed Put costs future hits, not this
 				// run's correctness.
+				psp := fj.root.Child("release-cache-put")
 				_, _ = s.opts.Releases.Put(fj.relKey, out)
+				psp.End()
 			}
 			if s.opts.Ledger != nil && fj.dataset != "" {
 				rem := s.opts.Ledger.Remaining(fj.dataset)
@@ -548,8 +587,18 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	tr, root := s.startJobTrace(r, "generate")
 	reqJSON, _ := json.Marshal(&req)
-	j, status, msg := s.submit(jobSpec{kind: "generate", request: reqJSON, fn: func(run *pipeline.Run) (any, error) {
+	traceID := TraceContextFrom(r.Context()).TraceID
+	if tr != nil {
+		traceID = tr.TraceID()
+	}
+	spec := jobSpec{
+		kind: "generate", request: reqJSON,
+		requestID: RequestIDFrom(r.Context()), traceID: traceID,
+		tr: tr, root: root,
+	}
+	spec.fn = func(run *pipeline.Run) (any, error) {
 		rng := randx.New(req.Seed)
 		if store != nil && req.OmitEdges {
 			// Streaming route: nothing downstream needs the edge list in
@@ -615,7 +664,8 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 			res.EdgeList = sb.String()
 		}
 		return res, nil
-	}})
+	}
+	j, status, msg := s.submit(spec)
 	if j == nil {
 		s.rejectAdmission(r, rejectReason(status), "", msg)
 		setRetryAfter(w, status, false)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dpkron/internal/obs"
+	"dpkron/internal/trace"
 )
 
 // serverMetrics is the serving tier's telemetry bundle, built once in
@@ -134,6 +135,8 @@ func routeLabel(r *http.Request) string {
 		return p
 	}
 	switch {
+	case strings.HasPrefix(p, "/v1/jobs/") && strings.HasSuffix(p, "/trace"):
+		return "/v1/jobs/{id}/trace"
 	case strings.HasPrefix(p, "/v1/jobs/"):
 		return "/v1/jobs/{id}"
 	case strings.HasPrefix(p, "/v1/datasets/"):
@@ -166,15 +169,41 @@ func (rec *statusRecorder) WriteHeader(code int) {
 	rec.ResponseWriter.WriteHeader(code)
 }
 
+// traceContext parses the request's W3C traceparent header, or mints
+// a fresh trace identity when it is absent or malformed (hostile
+// headers are simply replaced — the parser never panics and nothing
+// unvalidated reaches logs or traces). The second return is the
+// header value to echo: the client's verbatim for version-00 input,
+// otherwise the generated identity so the caller learns the trace id
+// its job was recorded under.
+func traceContext(r *http.Request) (trace.Context, string) {
+	if tc, ok := trace.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		return tc, tc.Traceparent()
+	}
+	// SpanID stays empty in the returned context — there is no real
+	// client span — but the echoed header needs one, representing this
+	// request's server-side handling.
+	tc := trace.Context{TraceID: trace.NewTraceID(), Flags: 1}
+	echo := tc
+	echo.SpanID = trace.NewSpanID()
+	return tc, echo.Traceparent()
+}
+
 // instrument is the HTTP middleware around the whole mux: request-id
 // generation/echo (X-Request-ID, also attached to the context for the
-// handlers' logs), the in-flight gauge, per-route request/latency/
-// status metrics, and one structured access-log line per request.
+// handlers' logs), W3C traceparent parse/echo/generate (the trace
+// context rides the request context for the job tracer to join), the
+// in-flight gauge, per-route request/latency/status metrics, and one
+// structured access-log line per request.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := requestID(r)
 		w.Header().Set("X-Request-ID", id)
-		r = r.WithContext(context.WithValue(r.Context(), ridKey{}, id))
+		tc, echo := traceContext(r)
+		w.Header().Set("traceparent", echo)
+		ctx := context.WithValue(r.Context(), ridKey{}, id)
+		ctx = context.WithValue(ctx, tcKey{}, tc)
+		r = r.WithContext(ctx)
 		route := routeLabel(r)
 		s.met.httpInFlight.Inc()
 		defer s.met.httpInFlight.Dec()
@@ -190,6 +219,7 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		}
 		s.log.LogAttrs(r.Context(), level, "http request",
 			slog.String("request_id", id),
+			slog.String("trace_id", tc.TraceID),
 			slog.String("method", r.Method),
 			slog.String("path", r.URL.Path),
 			slog.String("route", route),

@@ -10,6 +10,7 @@ import (
 	"dpkron/internal/graph"
 	"dpkron/internal/journal"
 	"dpkron/internal/pipeline"
+	"dpkron/internal/trace"
 )
 
 // replay, called from New when a journal is configured, restores the
@@ -130,12 +131,27 @@ func (s *Server) resume(st *journal.JobState) {
 		}
 		_ = s.opts.Journal.Append(journal.Record{Job: st.Job, State: journal.StateDebited}, false)
 	}
+	// The resumed job's tracer adopts the journaled trace id, so the
+	// trace a client started before the crash finds the work that
+	// finished after it; the originating request id rides along as an
+	// attribute on the new root span.
+	var tr *trace.Tracer
+	var root *trace.Span
+	if s.opts.Traces != nil {
+		tr = trace.New(trace.Context{TraceID: ad.TraceID})
+		root = tr.Start(nil, st.Kind,
+			trace.String("resumed", "true"),
+			trace.String("request_id", ad.RequestID))
+	}
 	fj := fitJob{
 		req:      req,
 		method:   method,
 		dataset:  ad.Dataset,
 		useCache: useCache,
+		root:     root,
 		loadGraph: func() (*graph.Graph, error) {
+			dsp := root.Child("dataset-load")
+			defer dsp.End()
 			if req.DatasetID != "" && len(req.Edges) == 0 && req.EdgeList == "" {
 				if s.opts.Datasets == nil {
 					return nil, fmt.Errorf("job references stored dataset %s but the server has no dataset store", req.DatasetID)
@@ -150,10 +166,14 @@ func (s *Server) resume(st *journal.JobState) {
 	}
 	fn := s.fitFn(fj)
 	spec := jobSpec{
-		kind:     st.Kind,
-		id:       st.Job,
-		replayed: true,
-		fn:       fn,
+		kind:      st.Kind,
+		id:        st.Job,
+		replayed:  true,
+		fn:        fn,
+		requestID: ad.RequestID,
+		traceID:   ad.TraceID,
+		tr:        tr,
+		root:      root,
 	}
 	var j *job
 	var msg string

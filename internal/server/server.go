@@ -11,6 +11,8 @@
 //	POST   /v1/generate         submit a synthetic-graph sampling job
 //	GET    /v1/jobs             list all jobs (newest last)
 //	GET    /v1/jobs/{id}        one job with stage progress and result
+//	GET    /v1/jobs/{id}/trace  the job's span tree (?format=chrome for
+//	                            a Chrome/Perfetto trace-event file)
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/budget/{dataset} a dataset's ledger account (ledger mode)
 //	POST   /v1/datasets         import a graph into the dataset store
@@ -91,6 +93,7 @@ import (
 	"dpkron/internal/parallel"
 	"dpkron/internal/pipeline"
 	"dpkron/internal/release"
+	"dpkron/internal/trace"
 )
 
 // Options configures a Server.
@@ -150,6 +153,16 @@ type Options struct {
 	// Logger receives structured request, job and admission logs with
 	// per-request/per-job correlation ids. Nil discards them.
 	Logger *slog.Logger
+	// Traces, when set, records a span tree per job — W3C traceparent
+	// adopted from the request, spans for admission, journal appends,
+	// the ledger debit, dataset load, queueing and every pipeline
+	// stage, plus a privacy-audit event per accountant debit/refusal —
+	// retained in this bounded store (dropped alongside job-history
+	// eviction) and served by GET /v1/jobs/{id}/trace. Nil keeps every
+	// tracing path at its zero-cost no-op; a job's outputs are
+	// bit-identical either way (trace ids never touch the seeded
+	// streams).
+	Traces *trace.Store
 	// EnablePprof mounts net/http/pprof under GET /debug/pprof/.
 	EnablePprof bool
 }
@@ -253,6 +266,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/generate", s.handleGenerate)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/budget/{dataset}", s.handleBudget)
 	s.mux.HandleFunc("POST /v1/datasets", s.handleDatasetImport)
@@ -366,6 +380,12 @@ type job struct {
 	// journaled marks the terminal state as recorded in the journal;
 	// only journaled terminal jobs may be evicted from memory.
 	journaled bool
+
+	// tr and root carry the job's tracer and root span when tracing is
+	// on (both nil otherwise — every use no-ops). Set before the job is
+	// registered and never mutated after, so they need no lock.
+	tr   *trace.Tracer
+	root *trace.Span
 }
 
 // sink returns the pipeline Sink recording stage progress (and
@@ -482,6 +502,16 @@ type jobSpec struct {
 	// is empty and the hook debits plainly.
 	admit func(token string) error
 	fn    func(run *pipeline.Run) (any, error)
+	// requestID and traceID tie the journaled admission back to the
+	// originating HTTP request, so a crash-resumed job's trace links to
+	// the request that paid for it.
+	requestID string
+	traceID   string
+	// tr and root are the job's tracer and root span (nil when tracing
+	// is off); submit hangs admission, queue-wait and run spans off
+	// them and stores the tracer under the job id.
+	tr   *trace.Tracer
+	root *trace.Span
 }
 
 // submit registers a job and launches its goroutine. fn runs once a
@@ -526,6 +556,7 @@ func (s *Server) submit(spec jobSpec) (*job, int, string) {
 		delete(s.admitting, id)
 		s.mu.Unlock()
 	}
+	adm := spec.tr.Start(spec.root, "admission", trace.String("job_id", id))
 	var token string
 	if s.opts.Journal != nil && !spec.replayed {
 		// The spend token must be unique across process lifetimes (job
@@ -540,14 +571,22 @@ func (s *Server) submit(spec jobSpec) (*job, int, string) {
 			Job: id, State: journal.StateAdmitted, Kind: spec.kind,
 			Request: spec.request, Dataset: spec.dataset,
 			Planned: spec.planned, Token: token, ReleaseKey: spec.releaseKey,
+			RequestID: spec.requestID, TraceID: spec.traceID,
 		}
-		if err := s.opts.Journal.Append(rec, true); err != nil {
+		jsp := adm.Child("journal-append", trace.String("state", journal.StateAdmitted))
+		err := s.opts.Journal.Append(rec, true)
+		jsp.End()
+		if err != nil {
 			undo()
 			return nil, http.StatusInternalServerError, fmt.Sprintf("journaling admission: %v", err)
 		}
 	}
 	if spec.admit != nil {
-		if err := spec.admit(token); err != nil {
+		deb := adm.Child("ledger-debit", trace.String("dataset", spec.dataset))
+		err := spec.admit(token)
+		s.auditDebit(deb, spec.dataset, spec.planned, err)
+		deb.End()
+		if err != nil {
 			// Close the journaled admission with an explicit failure —
 			// the invariant's "never silence" — before undoing the slot.
 			if s.opts.Journal != nil {
@@ -556,6 +595,7 @@ func (s *Server) submit(spec jobSpec) (*job, int, string) {
 					Error: "admission refused: " + err.Error(),
 				}, true)
 			}
+			adm.End()
 			undo()
 			status := http.StatusInternalServerError
 			if errors.Is(err, accountant.ErrBudgetExhausted) {
@@ -576,12 +616,18 @@ func (s *Server) submit(spec jobSpec) (*job, int, string) {
 		kind:   spec.kind,
 		cancel: cancel,
 		status: StatusQueued,
+		tr:     spec.tr,
+		root:   spec.root,
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	delete(s.admitting, id)
 	s.wg.Add(1)
 	s.mu.Unlock()
+	adm.End()
+	// Store the tracer as soon as the job exists: an in-flight job's
+	// trace is queryable while it runs, not only after it finishes.
+	s.opts.Traces.Put(id, spec.tr)
 	s.met.jobsSubmitted.With(spec.kind).Inc()
 	s.met.jobsQueued.Inc()
 	s.log.LogAttrs(context.Background(), slog.LevelInfo, "job admitted",
@@ -595,10 +641,13 @@ func (s *Server) submit(spec jobSpec) (*job, int, string) {
 		// context resources, return its admission slot, and evict old
 		// terminal jobs beyond the history bound.
 		defer s.finalize(j)
+		qsp := j.tr.Start(j.root, "queue-wait")
 		select {
 		case s.slots <- struct{}{}:
+			qsp.End()
 			defer func() { <-s.slots }()
 		case <-ctx.Done():
+			qsp.End()
 			j.setStatus(StatusCancelled)
 			return
 		}
@@ -625,7 +674,18 @@ func (s *Server) submit(spec jobSpec) (*job, int, string) {
 				s.opts.EventLog(id, e)
 			}
 		}
+		runSp := j.tr.Start(j.root, "run", trace.Int("workers", s.jobWorkers))
+		stages := j.tr.StageSpans(runSp, trace.Int("workers", s.jobWorkers))
+		if stages != nil {
+			inner := sink
+			sink = func(e pipeline.Event) {
+				inner(e)
+				stages.Observe(e.Stage, e.Frac)
+			}
+		}
 		res, err := fn(pipeline.New(ctx, s.jobWorkers, sink))
+		stages.Close()
+		runSp.End()
 		j.mu.Lock()
 		defer j.mu.Unlock()
 		if terminalStatus(j.status) {
@@ -672,10 +732,14 @@ func randomSuffix() string {
 // the oldest finished jobs beyond Options.MaxHistory.
 func (s *Server) finalize(j *job) {
 	j.cancel()
+	jsp := j.tr.Start(j.root, "journal-append", trace.String("state", "terminal"))
 	s.journalTerminal(j, true)
+	jsp.End()
 	j.mu.Lock()
 	status, ran, errMsg := j.status, j.ran, j.errMsg
 	j.mu.Unlock()
+	j.root.SetAttr(trace.String("status", status))
+	j.root.End()
 	if ran {
 		s.met.jobsRunning.Dec()
 	} else {
@@ -755,6 +819,9 @@ func (s *Server) evictHistoryLocked() {
 	for _, id := range s.order {
 		if evict > 0 && s.jobs[id].evictable() {
 			delete(s.jobs, id)
+			// Trace retention tracks job retention: an evicted job's
+			// span tree goes with it.
+			s.opts.Traces.Drop(id)
 			evict--
 			evicted++
 			continue

@@ -1,0 +1,113 @@
+package textplot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// WaterfallSpan is one bar of a trace waterfall: a named interval at
+// some nesting depth, with optional instantaneous marks (events)
+// rendered inside the bar. Times are seconds relative to any common
+// origin — only differences matter.
+type WaterfallSpan struct {
+	Label string
+	Start float64
+	Dur   float64
+	Depth int  // nesting level; indents the label
+	Open  bool // still running when snapshotted
+	Marks []float64
+}
+
+// WaterfallOptions controls the waterfall canvas.
+type WaterfallOptions struct {
+	Width int // bar-area columns; default 48
+}
+
+// Waterfall renders spans as an ASCII gantt chart, one row per span in
+// the given order: indented label, a bar positioned on a shared time
+// axis, and the span's duration. Marks draw as '!' inside (or beside)
+// the bar; an open span's bar ends in '>'.
+//
+//	fit/private     ================================  31.2ms
+//	  admission     =                                  0.3ms
+//	    ledger-debit !                                 0.1ms
+func Waterfall(spans []WaterfallSpan, opts WaterfallOptions) string {
+	if len(spans) == 0 {
+		return "(no spans)\n"
+	}
+	if opts.Width <= 0 {
+		opts.Width = 48
+	}
+	t0, t1 := spans[0].Start, spans[0].Start
+	labelW := 0
+	for _, s := range spans {
+		if s.Start < t0 {
+			t0 = s.Start
+		}
+		if end := s.Start + s.Dur; end > t1 {
+			t1 = end
+		}
+		if w := 2*s.Depth + len(s.Label); w > labelW {
+			labelW = w
+		}
+	}
+	total := t1 - t0
+	if total <= 0 {
+		total = 1e-9 // all spans instantaneous: every bar lands at column 0
+	}
+	col := func(t float64) int {
+		c := int((t - t0) / total * float64(opts.Width))
+		if c < 0 {
+			c = 0
+		}
+		if c > opts.Width-1 {
+			c = opts.Width - 1
+		}
+		return c
+	}
+	var b strings.Builder
+	for _, s := range spans {
+		label := strings.Repeat("  ", s.Depth) + s.Label
+		b.WriteString(label)
+		b.WriteString(strings.Repeat(" ", labelW-len(label)+2))
+		bar := make([]byte, opts.Width)
+		for i := range bar {
+			bar[i] = ' '
+		}
+		lo, hi := col(s.Start), col(s.Start+s.Dur)
+		for i := lo; i <= hi; i++ {
+			bar[i] = '='
+		}
+		if s.Open {
+			bar[hi] = '>'
+		}
+		for _, m := range s.Marks {
+			bar[col(m)] = '!'
+		}
+		b.Write(bar)
+		b.WriteString("  ")
+		b.WriteString(fmtDur(s.Dur))
+		if s.Open {
+			b.WriteString(" (open)")
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", labelW+2))
+	axis := fmt.Sprintf("0%s%s", strings.Repeat(" ", opts.Width-1-len(fmtDur(total))), fmtDur(total))
+	b.WriteString(axis)
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// fmtDur renders a duration in seconds with a unit chosen for
+// legibility (µs / ms / s).
+func fmtDur(sec float64) string {
+	switch {
+	case sec < 1e-3:
+		return fmt.Sprintf("%.0fµs", sec*1e6)
+	case sec < 1:
+		return fmt.Sprintf("%.1fms", sec*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", sec)
+	}
+}

@@ -1,0 +1,62 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWaterfall(t *testing.T) {
+	out := Waterfall([]WaterfallSpan{
+		{Label: "fit/private", Start: 0, Dur: 0.040, Marks: []float64{0.010}},
+		{Label: "admission", Start: 0.001, Dur: 0.002, Depth: 1},
+		{Label: "ledger-debit", Start: 0.0015, Dur: 0.001, Depth: 2},
+		{Label: "run", Start: 0.004, Dur: 0.030, Depth: 1, Open: true},
+	}, WaterfallOptions{Width: 40})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want 4 rows + axis, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "fit/private") || !strings.Contains(lines[0], "40.0ms") {
+		t.Errorf("root row = %q", lines[0])
+	}
+	if !strings.Contains(lines[0], "!") {
+		t.Errorf("root row lacks its event mark: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "    ledger-debit") {
+		t.Errorf("depth-2 row not indented: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], ">") || !strings.Contains(lines[3], "(open)") {
+		t.Errorf("open row = %q", lines[3])
+	}
+	if !strings.Contains(lines[4], "0") || !strings.Contains(lines[4], "40.0ms") {
+		t.Errorf("axis row = %q", lines[4])
+	}
+	// Rows align: every bar area starts at the same column.
+	root := strings.Index(lines[0], "=")
+	adm := strings.Index(lines[1], "=")
+	if root < 0 || adm < root {
+		t.Errorf("bars misaligned:\n%s", out)
+	}
+}
+
+func TestWaterfallDegenerate(t *testing.T) {
+	if got := Waterfall(nil, WaterfallOptions{}); got != "(no spans)\n" {
+		t.Errorf("empty waterfall = %q", got)
+	}
+	// Zero-duration trace must not divide by zero.
+	out := Waterfall([]WaterfallSpan{{Label: "x", Start: 5, Dur: 0}}, WaterfallOptions{Width: 10})
+	if !strings.Contains(out, "x") || !strings.Contains(out, "=") {
+		t.Errorf("degenerate waterfall = %q", out)
+	}
+}
+
+func TestFmtDur(t *testing.T) {
+	for _, tc := range []struct {
+		sec  float64
+		want string
+	}{{2.4e-6, "2µs"}, {0.0123, "12.3ms"}, {3.21, "3.21s"}} {
+		if got := fmtDur(tc.sec); got != tc.want {
+			t.Errorf("fmtDur(%g) = %q, want %q", tc.sec, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTracer builds a fully deterministic trace: fixed clock, and a
+// fixed trace id adopted from an incoming traceparent so no random id
+// leaks into the golden file.
+func goldenTracer() *Tracer {
+	tr := New(Context{TraceID: tpTrace, SpanID: tpSpan, Flags: 1}).WithClock(fixedClock())
+	root := tr.Start(nil, "fit/private", String("request_id", "req-golden"), String("dataset", "ds-test"))
+	adm := root.Child("admission")
+	adm.Child("journal-append").End()
+	deb := adm.Child("ledger-debit", String("dataset", "ds-test"))
+	deb.Event("ledger-debit", Float("eps", 0.5), Float("delta", 0.01))
+	deb.End()
+	adm.End()
+	run := root.Child("run", Int("workers", 4))
+	ss := tr.StageSpans(run, Int("workers", 4))
+	ss.Observe("algorithm1/degree-release", 0)
+	run.Event("accountant-debit",
+		String("mechanism", "laplace-vec"),
+		Float("eps", 0.25), Float("delta", 0))
+	ss.Observe("algorithm1/degree-release", 1)
+	ss.Observe("algorithm1/moment-fit", 0)
+	ss.Observe("algorithm1/moment-fit/kronmom", 0)
+	ss.Observe("algorithm1/moment-fit/kronmom", 1)
+	ss.Observe("algorithm1/moment-fit", 1)
+	run.End()
+	root.End()
+	return tr
+}
+
+func TestWriteChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, goldenTracer().Tree()); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	path := filepath.Join("testdata", "chrome_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome export drifted from golden file; run `go test ./internal/trace -run Golden -update` if intended.\ngot:\n%s", buf.String())
+	}
+}
+
+func TestWriteChromeShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, goldenTracer().Tree()); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name  string            `json:"name"`
+			Phase string            `json:"ph"`
+			TS    int64             `json:"ts"`
+			Dur   int64             `json:"dur"`
+			Args  map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		OtherData       map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if file.OtherData["trace_id"] != tpTrace || file.DisplayTimeUnit != "ms" {
+		t.Fatalf("otherData = %+v", file.OtherData)
+	}
+	var complete, instant int
+	for _, e := range file.TraceEvents {
+		switch e.Phase {
+		case "X":
+			complete++
+			if e.Dur < 1 {
+				t.Fatalf("complete event %q has zero duration", e.Name)
+			}
+		case "i":
+			instant++
+		default:
+			t.Fatalf("unexpected phase %q", e.Phase)
+		}
+	}
+	// 7 spans (root, admission, journal-append, ledger-debit, run, two
+	// top stages) + the nested kronmom stage = 8; 2 instant events.
+	if complete != 8 || instant != 2 {
+		t.Fatalf("complete=%d instant=%d, want 8 and 2", complete, instant)
+	}
+	// Nil tree still writes a valid, empty file.
+	buf.Reset()
+	if err := WriteChrome(&buf, nil); err != nil {
+		t.Fatalf("WriteChrome(nil): %v", err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("nil-tree export invalid: %v", err)
+	}
+}

@@ -1,0 +1,85 @@
+package trace
+
+import "sync"
+
+// Store is a bounded in-memory map from job id to tracer. The server
+// puts a job's tracer at admission and drops it when the job is
+// evicted from history, so trace retention tracks job retention; the
+// store's own cap is a backstop that evicts the oldest entry when
+// exceeded, bounding memory even if a caller forgets to Drop.
+type Store struct {
+	mu    sync.Mutex
+	max   int
+	byID  map[string]*Tracer
+	order []string
+}
+
+// DefaultStoreSize bounds a Store built with NewStore(0).
+const DefaultStoreSize = 512
+
+// NewStore builds a Store retaining at most max traces (0 means
+// DefaultStoreSize).
+func NewStore(max int) *Store {
+	if max <= 0 {
+		max = DefaultStoreSize
+	}
+	return &Store{max: max, byID: make(map[string]*Tracer)}
+}
+
+// Put records id's tracer, evicting the oldest entry when the store
+// is full. Nil-safe: a nil store or nil tracer is a no-op.
+func (st *Store) Put(id string, t *Tracer) {
+	if st == nil || t == nil || id == "" {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.byID[id]; !ok {
+		st.order = append(st.order, id)
+	}
+	st.byID[id] = t
+	for len(st.order) > st.max {
+		delete(st.byID, st.order[0])
+		st.order = st.order[1:]
+	}
+}
+
+// Get returns the tracer recorded for id.
+func (st *Store) Get(id string) (*Tracer, bool) {
+	if st == nil {
+		return nil, false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	t, ok := st.byID[id]
+	return t, ok
+}
+
+// Drop forgets id's trace (job-history eviction).
+func (st *Store) Drop(id string) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.byID[id]; !ok {
+		return
+	}
+	delete(st.byID, id)
+	for i, v := range st.order {
+		if v == id {
+			st.order = append(st.order[:i], st.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Len reports the number of retained traces.
+func (st *Store) Len() int {
+	if st == nil {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.byID)
+}

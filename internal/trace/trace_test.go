@@ -1,0 +1,222 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixedClock yields deterministic, strictly increasing timestamps.
+func fixedClock() func() time.Time {
+	t := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	return func() time.Time {
+		t = t.Add(time.Millisecond)
+		return t
+	}
+}
+
+func TestNilTracerAndSpanNoOp(t *testing.T) {
+	var tr *Tracer
+	if got := tr.TraceID(); got != "" {
+		t.Fatalf("nil tracer TraceID = %q", got)
+	}
+	sp := tr.Start(nil, "root")
+	if sp != nil {
+		t.Fatalf("nil tracer Start returned non-nil span")
+	}
+	// Every method on the nil span must be a no-op, not a panic.
+	sp.SetAttr(String("k", "v"))
+	sp.Event("e", Int("n", 1))
+	child := sp.Child("child")
+	if child != nil {
+		t.Fatalf("nil span Child returned non-nil")
+	}
+	sp.End()
+	if tr.Tree() != nil {
+		t.Fatalf("nil tracer Tree returned non-nil")
+	}
+	ss := tr.StageSpans(nil)
+	if ss != nil {
+		t.Fatalf("nil tracer StageSpans returned non-nil")
+	}
+	ss.Observe("stage", 0)
+	ss.Close()
+	tr.WithClock(time.Now)
+}
+
+func TestSpanTree(t *testing.T) {
+	tr := New(Context{}).WithClock(fixedClock())
+	if !hexID(tr.TraceID(), 32) {
+		t.Fatalf("generated trace id %q is not 32 hex digits", tr.TraceID())
+	}
+	root := tr.Start(nil, "job", String("kind", "fit/private"))
+	adm := root.Child("admission")
+	adm.Child("ledger-debit").End()
+	adm.End()
+	run := root.Child("run", Int("workers", 4))
+	run.Event("audit", Float("eps", 0.25))
+	run.End()
+	root.End()
+
+	tree := tr.Tree()
+	if len(tree.Spans) != 1 {
+		t.Fatalf("want 1 root span, got %d", len(tree.Spans))
+	}
+	r := tree.Spans[0]
+	if r.Name != "job" || r.Attrs["kind"] != "fit/private" || r.Open {
+		t.Fatalf("root span = %+v", r)
+	}
+	if len(r.Children) != 2 || r.Children[0].Name != "admission" || r.Children[1].Name != "run" {
+		t.Fatalf("root children = %+v", r.Children)
+	}
+	if len(r.Children[0].Children) != 1 || r.Children[0].Children[0].Name != "ledger-debit" {
+		t.Fatalf("admission children = %+v", r.Children[0].Children)
+	}
+	ev := r.Children[1].Events
+	if len(ev) != 1 || ev[0].Name != "audit" || ev[0].Attrs["eps"] != "0.25" {
+		t.Fatalf("run events = %+v", ev)
+	}
+	if r.Seconds <= 0 {
+		t.Fatalf("root span has no duration: %v", r.Seconds)
+	}
+	var count int
+	tree.Walk(func(n *Node, depth int) { count++ })
+	if count != 4 {
+		t.Fatalf("Walk visited %d nodes, want 4", count)
+	}
+}
+
+func TestTracerAdoptsIncomingContext(t *testing.T) {
+	in := Context{TraceID: "4bf92f3577b34da6a3ce929d0e0e4736", SpanID: "00f067aa0ba902b7", Flags: 1}
+	tr := New(in)
+	if tr.TraceID() != in.TraceID {
+		t.Fatalf("tracer did not adopt incoming trace id: %q", tr.TraceID())
+	}
+	tree := tr.Tree()
+	if tree.RemoteParent != in.SpanID {
+		t.Fatalf("remote parent = %q, want %q", tree.RemoteParent, in.SpanID)
+	}
+}
+
+func TestOpenSpanSnapshot(t *testing.T) {
+	tr := New(Context{}).WithClock(fixedClock())
+	sp := tr.Start(nil, "running")
+	tree := tr.Tree()
+	if !tree.Spans[0].Open || tree.Spans[0].Seconds <= 0 {
+		t.Fatalf("open span snapshot = %+v", tree.Spans[0])
+	}
+	sp.End()
+	sp.End() // second End keeps the first end time
+	secs := tr.Tree().Spans[0].Seconds
+	if tr.Tree().Spans[0].Seconds != secs {
+		t.Fatalf("End not idempotent")
+	}
+}
+
+func TestStageSpansNesting(t *testing.T) {
+	tr := New(Context{}).WithClock(fixedClock())
+	root := tr.Start(nil, "run")
+	ss := tr.StageSpans(root, Int("workers", 3))
+	// The serving pipeline's real stage order, including the nested
+	// moment-fit/kronmom pair.
+	ss.Observe("algorithm1/degree-release", 0)
+	ss.Observe("algorithm1/degree-release", 1)
+	ss.Observe("algorithm1/moment-fit", 0)
+	ss.Observe("algorithm1/moment-fit/kronmom", 0)
+	ss.Observe("algorithm1/moment-fit/kronmom", 0.5)
+	ss.Observe("algorithm1/moment-fit/kronmom", 1)
+	ss.Observe("algorithm1/moment-fit", 1)
+	root.End()
+
+	r := tr.Tree().Spans[0]
+	if len(r.Children) != 2 {
+		t.Fatalf("want 2 stage spans under run, got %d", len(r.Children))
+	}
+	mf := r.Children[1]
+	if mf.Name != "algorithm1/moment-fit" || len(mf.Children) != 1 ||
+		mf.Children[0].Name != "algorithm1/moment-fit/kronmom" {
+		t.Fatalf("moment-fit subtree = %+v", mf)
+	}
+	if mf.Attrs["workers"] != "3" {
+		t.Fatalf("stage span missing worker attr: %+v", mf.Attrs)
+	}
+	if mf.Open || mf.Children[0].Open {
+		t.Fatalf("stage spans not closed")
+	}
+}
+
+func TestStageSpansCloseEndsOpen(t *testing.T) {
+	tr := New(Context{})
+	ss := tr.StageSpans(nil)
+	ss.Observe("a", 0)
+	ss.Observe("a/b", 0)
+	ss.Close()
+	for _, n := range tr.Tree().Spans {
+		if n.Open {
+			t.Fatalf("span %q left open after Close", n.Name)
+		}
+	}
+	// A done event for an unseen stage must not open anything.
+	ss.Observe("never-started", 1)
+	if len(tr.Tree().Spans) != 1 {
+		t.Fatalf("unexpected span count %d", len(tr.Tree().Spans))
+	}
+}
+
+func TestTracerConcurrency(t *testing.T) {
+	tr := New(Context{})
+	root := tr.Start(nil, "root")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				sp := root.Child("work")
+				sp.Event("tick", Int("j", j))
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	tree := tr.Tree()
+	if len(tree.Spans[0].Children) != 8*50 {
+		t.Fatalf("lost spans under concurrency: %d", len(tree.Spans[0].Children))
+	}
+}
+
+func TestStoreBoundsAndDrop(t *testing.T) {
+	st := NewStore(2)
+	a, b, c := New(Context{}), New(Context{}), New(Context{})
+	st.Put("job-1", a)
+	st.Put("job-2", b)
+	st.Put("job-3", c) // evicts job-1
+	if st.Len() != 2 {
+		t.Fatalf("store len = %d, want 2", st.Len())
+	}
+	if _, ok := st.Get("job-1"); ok {
+		t.Fatalf("oldest trace not evicted")
+	}
+	if got, ok := st.Get("job-3"); !ok || got != c {
+		t.Fatalf("job-3 missing after put")
+	}
+	st.Drop("job-2")
+	if _, ok := st.Get("job-2"); ok {
+		t.Fatalf("Drop did not remove trace")
+	}
+	st.Drop("job-2") // idempotent
+	// Re-putting an existing id must not duplicate its order entry.
+	st.Put("job-3", c)
+	st.Put("job-4", a)
+	if st.Len() != 2 {
+		t.Fatalf("store len after re-put = %d, want 2", st.Len())
+	}
+	// Nil store no-ops.
+	var nilStore *Store
+	nilStore.Put("x", a)
+	nilStore.Drop("x")
+	if _, ok := nilStore.Get("x"); ok || nilStore.Len() != 0 {
+		t.Fatalf("nil store misbehaved")
+	}
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// Context is a W3C Trace Context identity: the pieces of a
+// traceparent header this server consumes and echoes.
+type Context struct {
+	TraceID string // 32 lowercase hex digits, not all zero
+	SpanID  string // 16 lowercase hex digits, not all zero
+	Flags   byte   // bit 0: sampled
+}
+
+// Valid reports whether the context carries well-formed, non-zero
+// trace and span ids.
+func (c Context) Valid() bool {
+	return hexID(c.TraceID, 32) && hexID(c.SpanID, 16)
+}
+
+// Traceparent renders the context as a version-00 traceparent header
+// value: "00-<trace-id>-<parent-id>-<flags>".
+func (c Context) Traceparent() string {
+	const hexdigits = "0123456789abcdef"
+	b := make([]byte, 0, 55)
+	b = append(b, "00-"...)
+	b = append(b, c.TraceID...)
+	b = append(b, '-')
+	b = append(b, c.SpanID...)
+	b = append(b, '-', hexdigits[c.Flags>>4], hexdigits[c.Flags&0xf])
+	return string(b)
+}
+
+// ParseTraceparent parses a traceparent header per the W3C Trace
+// Context spec: `version "-" trace-id "-" parent-id "-" flags`, all
+// lowercase hex, with version ff forbidden and all-zero ids invalid.
+// Future versions (> 00) are accepted if their first four fields
+// parse, ignoring any trailing data. It never panics, whatever the
+// input; ok is false for anything malformed.
+func ParseTraceparent(h string) (c Context, ok bool) {
+	if len(h) < 55 {
+		return Context{}, false
+	}
+	if !hexID(h[0:2], 2) || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return Context{}, false
+	}
+	version := h[0:2]
+	if version == "ff" {
+		return Context{}, false
+	}
+	if version == "00" && len(h) != 55 {
+		return Context{}, false
+	}
+	if len(h) > 55 && h[55] != '-' {
+		return Context{}, false
+	}
+	c = Context{TraceID: h[3:35], SpanID: h[36:52]}
+	if !c.Valid() || !hexID(h[53:55], 2) {
+		return Context{}, false
+	}
+	c.Flags = byte(unhex(h[53])<<4 | unhex(h[54]))
+	return c, true
+}
+
+// NewTraceID draws a fresh random 32-hex-digit trace id from the
+// OS entropy pool — never from the seeded generators, so tracing
+// cannot perturb estimation.
+func NewTraceID() string { return randomHex(16) }
+
+// NewSpanID draws a fresh random 16-hex-digit span id for outgoing
+// trace contexts generated outside any tracer.
+func NewSpanID() string { return randomHex(8) }
+
+func randomHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand failure is unrecoverable; fall back to a fixed
+		// non-zero id rather than panicking in a serving path.
+		for i := range b {
+			b[i] = 0xab
+		}
+	}
+	return hex.EncodeToString(b)
+}
+
+// hexID reports whether s is exactly n lowercase hex digits and, for
+// id-sized fields, not all zero.
+func hexID(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	zero := true
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+		if c != '0' {
+			zero = false
+		}
+	}
+	if n >= 16 && zero {
+		return false
+	}
+	return true
+}
+
+func unhex(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	default:
+		return int(c-'a') + 10
+	}
+}

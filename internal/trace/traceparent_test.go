@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+const (
+	tpTrace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	tpSpan  = "00f067aa0ba902b7"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	valid := "00-" + tpTrace + "-" + tpSpan + "-01"
+	cases := []struct {
+		name string
+		in   string
+		ok   bool
+	}{
+		{"canonical", valid, true},
+		{"unsampled", "00-" + tpTrace + "-" + tpSpan + "-00", true},
+		{"future version", "cc-" + tpTrace + "-" + tpSpan + "-01", true},
+		{"future version with trailing", "cc-" + tpTrace + "-" + tpSpan + "-01-extra", true},
+		{"empty", "", false},
+		{"short", valid[:54], false},
+		{"version ff", "ff-" + tpTrace + "-" + tpSpan + "-01", false},
+		{"version 00 with trailing", valid + "-extra", false},
+		{"future version bad separator", "cc-" + tpTrace + "-" + tpSpan + "-01x", false},
+		{"uppercase hex", "00-" + strings.ToUpper(tpTrace) + "-" + tpSpan + "-01", false},
+		{"all-zero trace id", "00-" + strings.Repeat("0", 32) + "-" + tpSpan + "-01", false},
+		{"all-zero span id", "00-" + tpTrace + "-" + strings.Repeat("0", 16) + "-01", false},
+		{"bad separators", "00_" + tpTrace + "_" + tpSpan + "_01", false},
+		{"non-hex flags", "00-" + tpTrace + "-" + tpSpan + "-zz", false},
+		{"non-hex version", "zz-" + tpTrace + "-" + tpSpan + "-01", false},
+	}
+	for _, c := range cases {
+		ctx, ok := ParseTraceparent(c.in)
+		if ok != c.ok {
+			t.Errorf("%s: ParseTraceparent(%q) ok = %v, want %v", c.name, c.in, ok, c.ok)
+			continue
+		}
+		if ok && (ctx.TraceID != tpTrace || ctx.SpanID != tpSpan) {
+			t.Errorf("%s: parsed %+v", c.name, ctx)
+		}
+	}
+	ctx, _ := ParseTraceparent(valid)
+	if ctx.Flags != 1 {
+		t.Fatalf("flags = %#x, want 1", ctx.Flags)
+	}
+	if got := ctx.Traceparent(); got != valid {
+		t.Fatalf("round trip = %q, want %q", got, valid)
+	}
+}
+
+func TestContextValid(t *testing.T) {
+	if (Context{}).Valid() {
+		t.Fatalf("zero context reported valid")
+	}
+	if !(Context{TraceID: tpTrace, SpanID: tpSpan}).Valid() {
+		t.Fatalf("well-formed context reported invalid")
+	}
+	if (Context{TraceID: tpTrace[:31] + "G", SpanID: tpSpan}).Valid() {
+		t.Fatalf("non-hex trace id reported valid")
+	}
+}
+
+func TestNewIDsAreWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 32; i++ {
+		id := NewTraceID()
+		if !hexID(id, 32) {
+			t.Fatalf("NewTraceID() = %q", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace id %q", id)
+		}
+		seen[id] = true
+		if sp := NewSpanID(); !hexID(sp, 16) {
+			t.Fatalf("NewSpanID() = %q", sp)
+		}
+	}
+}
+
+// FuzzParseTraceparent asserts the two properties the middleware
+// depends on: hostile headers never panic the parser, and anything it
+// accepts re-renders (for version 00) to the exact input — so the
+// echoed header is byte-identical to what the client sent.
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add("00-" + tpTrace + "-" + tpSpan + "-01")
+	f.Add("ff-" + tpTrace + "-" + tpSpan + "-01")
+	f.Add("cc-" + tpTrace + "-" + tpSpan + "-01-suffix")
+	f.Add(strings.Repeat("0", 55))
+	f.Add("")
+	f.Add("00-00-00-00")
+	f.Fuzz(func(t *testing.T, h string) {
+		ctx, ok := ParseTraceparent(h)
+		if !ok {
+			return
+		}
+		if !ctx.Valid() {
+			t.Fatalf("parser accepted invalid context %+v from %q", ctx, h)
+		}
+		if strings.HasPrefix(h, "00-") && ctx.Traceparent() != h {
+			t.Fatalf("version-00 round trip: %q -> %q", h, ctx.Traceparent())
+		}
+		if _, ok2 := ParseTraceparent(ctx.Traceparent()); !ok2 {
+			t.Fatalf("re-rendered header %q does not re-parse", ctx.Traceparent())
+		}
+	})
+}

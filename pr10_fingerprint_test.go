@@ -1,0 +1,197 @@
+package dpkron_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dpkron/internal/obs"
+	"dpkron/internal/server"
+	"dpkron/internal/trace"
+)
+
+// PR 10 threads a span tracer through every serving layer and turns
+// each job's trace into its privacy-audit timeline. Tracing must
+// never perturb the traced: a fit served by a fully traced server —
+// trace store attached, on top of PR 9's full instrumentation — must
+// release the exact PR 2 bits, and the trace it records must account
+// for every stage and every ε/δ debit of that release.
+
+// TestFingerprintTracedServer fits the PR 2 graph (eps=0.5,
+// delta=0.01, k=10, seed=9) through a fully traced server, checks the
+// released initiator and features against the PR 2 pins, and then
+// audits the trace itself: one span per algorithm1/* stage and audit
+// events whose summed ε/δ equal the job's receipt.
+func TestFingerprintTracedServer(t *testing.T) {
+	const (
+		wantInit  = uint64(0x1c23d17293445957)
+		wantFeats = uint64(0x297d918e6156a3fb)
+	)
+	g := fpGraphK10(t)
+	var el strings.Builder
+	if err := g.WriteEdgeList(&el); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	logger, err := obs.NewLogger(io.Discard, "json", "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Options{
+		Workers:     4,
+		MaxJobs:     2,
+		MaxQueue:    8,
+		Metrics:     reg,
+		Logger:      logger,
+		EnablePprof: true,
+		Traces:      trace.NewStore(0),
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, err := json.Marshal(map[string]any{
+		"method": "private", "eps": 0.5, "delta": 0.01,
+		"k": 10, "seed": 9, "edgelist": el.String(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/fit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(resp.Header.Get("traceparent"), "00-") {
+		t.Errorf("fit response carries no traceparent: %q", resp.Header.Get("traceparent"))
+	}
+	var job struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("fit submit: status %d", resp.StatusCode)
+	}
+
+	var result struct {
+		Initiator struct{ A, B, C float64 } `json:"initiator"`
+		Features  *struct {
+			E, H, T, Delta float64
+		} `json:"features"`
+		Receipt *struct {
+			Total   struct{ Eps, Delta float64 } `json:"total"`
+			Charges []json.RawMessage            `json:"charges"`
+		} `json:"receipt"`
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		r2, err := http.Get(ts.URL + "/v1/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v struct {
+			Status string          `json:"status"`
+			Error  string          `json:"error"`
+			Result json.RawMessage `json:"result"`
+		}
+		if err := json.NewDecoder(r2.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		r2.Body.Close()
+		if v.Status == "done" {
+			if err := json.Unmarshal(v.Result, &result); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		if v.Status == "failed" || v.Status == "cancelled" {
+			t.Fatalf("fit job %s: %s (%s)", job.ID, v.Status, v.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fit job %s did not finish", job.ID)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	if fp := fpHashFloats(result.Initiator.A, result.Initiator.B, result.Initiator.C); fp != wantInit {
+		t.Errorf("traced init fingerprint = %#x, want %#x (PR 2)", fp, wantInit)
+	}
+	if result.Features == nil {
+		t.Fatal("fit result carries no features")
+	}
+	if fp := fpHashFloats(result.Features.E, result.Features.H, result.Features.T, result.Features.Delta); fp != wantFeats {
+		t.Errorf("traced features fingerprint = %#x, want %#x (PR 2)", fp, wantFeats)
+	}
+	if result.Receipt == nil {
+		t.Fatal("fit result carries no receipt")
+	}
+
+	// The trace accounts for the run: one span per algorithm1/* stage
+	// of the private pipeline...
+	tresp, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace: status %d", tresp.StatusCode)
+	}
+	var tree trace.Tree
+	if err := json.NewDecoder(tresp.Body).Decode(&tree); err != nil {
+		t.Fatal(err)
+	}
+	stageCount := map[string]int{}
+	var auditEps, auditDelta float64
+	var auditEvents int
+	tree.Walk(func(n *trace.Node, depth int) {
+		if strings.HasPrefix(n.Name, "algorithm1/") {
+			stageCount[n.Name]++
+		}
+		for _, e := range n.Events {
+			if e.Name != "accountant-debit" {
+				continue
+			}
+			auditEvents++
+			eps, err1 := strconv.ParseFloat(e.Attrs["eps"], 64)
+			del, err2 := strconv.ParseFloat(e.Attrs["delta"], 64)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("audit event with unparsable budget: %v", e.Attrs)
+			}
+			auditEps += eps
+			auditDelta += del
+		}
+	})
+	for _, stage := range []string{
+		"algorithm1/degree-release",
+		"algorithm1/feature-derivation",
+		"algorithm1/triangle-release",
+		"algorithm1/moment-fit",
+		"algorithm1/moment-fit/kronmom",
+	} {
+		if stageCount[stage] != 1 {
+			t.Errorf("trace has %d spans for stage %q, want exactly 1", stageCount[stage], stage)
+		}
+	}
+
+	// ...and one audit event per ledger debit, summing to the receipt.
+	if auditEvents != len(result.Receipt.Charges) {
+		t.Errorf("trace has %d accountant-debit events, receipt itemizes %d charges",
+			auditEvents, len(result.Receipt.Charges))
+	}
+	if math.Abs(auditEps-result.Receipt.Total.Eps) > 1e-9 ||
+		math.Abs(auditDelta-result.Receipt.Total.Delta) > 1e-9 {
+		t.Errorf("audit events sum to (%g, %g); receipt total is (%g, %g)",
+			auditEps, auditDelta, result.Receipt.Total.Eps, result.Receipt.Total.Delta)
+	}
+}

@@ -6,9 +6,10 @@
 # cache cold-fit vs cached-fit pairs, PR 7's journal plain vs
 # journaled job-lifecycle pairs, PR 8's out-of-core pairs — v1
 # decode vs v2 mmap open, and in-memory vs streamed generate-to-store
-# with peak-heap gauges — and PR 9's uninstrumented vs fully
-# instrumented job-lifecycle pairs) and writes their numbers to
-# BENCH_9.json so future PRs have a recorded trajectory to compare
+# with peak-heap gauges — PR 9's uninstrumented vs fully
+# instrumented job-lifecycle pairs, and PR 10's untraced vs
+# span-traced job-lifecycle pairs) and writes their numbers to
+# BENCH_10.json so future PRs have a recorded trajectory to compare
 # against.
 #
 # Usage: scripts/bench.sh [output.json]
@@ -37,6 +38,12 @@
 #               family: telemetry's per-job cost is a handful of atomic
 #               updates and one log record against a ~1.4 s fit, so a
 #               min-of-three keeps the instrumented_over_plain ratio
+#               noise-robust
+#   TRACE_COUNT
+#               repetition count (default 3) for the TraceOverhead
+#               family: span tracing's per-job cost is a few dozen
+#               small allocations against a ~1.4 s fit, so a
+#               min-of-three keeps the traced_over_plain ratio
 #               noise-robust
 #   STREAM_BENCHTIME
 #               benchtime (default 1x) for the StreamingGenerate
@@ -83,6 +90,11 @@
 # ratio of the same lifecycle on a server carrying the full PR 9
 # telemetry surface (metrics registry, JSON logging, pprof mounted) to
 # an uninstrumented one (PR 9's acceptance bound is <= 1.02). The
+# TraceOverhead family is paired into a "trace_overhead" section:
+# traced_over_plain is the ns/op ratio of the same lifecycle on a
+# server recording full per-job span trees (stage spans,
+# serving-layer spans, audit events) to an untraced one (PR 10's
+# acceptance bound is <= 1.02). The
 # MmapLoad family is paired into
 # a "mmap_load" section: v1_over_v2 is the ns ratio of a full v1
 # read+decode to a v2 mmap open of the same graph (PR 8's acceptance
@@ -97,7 +109,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_9.json}"
+out="${1:-BENCH_10.json}"
 benchtime="${BENCHTIME:-3x}"
 dispatch_benchtime="${DISPATCH_BENCHTIME:-500x}"
 stream_benchtime="${STREAM_BENCHTIME:-1x}"
@@ -114,6 +126,8 @@ go test -run=NONE -bench='JournalOverhead' \
   -benchtime="$benchtime" -count="${JOURNAL_COUNT:-3}" . | tee -a "$raw" >&2
 go test -run=NONE -bench='ObsOverhead' \
   -benchtime="$benchtime" -count="${OBS_COUNT:-3}" . | tee -a "$raw" >&2
+go test -run=NONE -bench='TraceOverhead' \
+  -benchtime="$benchtime" -count="${TRACE_COUNT:-3}" . | tee -a "$raw" >&2
 go test -run=NONE -bench='StreamingGenerate' \
   -benchtime="$stream_benchtime" -count=1 . | tee -a "$raw" >&2
 
@@ -148,7 +162,7 @@ BEGIN {
   }
   n = 0
 }
-/^Benchmark(GraphBuild|KronFitMetropolis|BallDropN|PipelineOverhead|MechanismDispatch|DatasetLoad|ReleaseCache|JournalOverhead|ObsOverhead|MmapLoad|StreamingGenerate)\// {
+/^Benchmark(GraphBuild|KronFitMetropolis|BallDropN|PipelineOverhead|MechanismDispatch|DatasetLoad|ReleaseCache|JournalOverhead|ObsOverhead|TraceOverhead|MmapLoad|StreamingGenerate)\// {
   name = $1
   sub(/^Benchmark/, "", name)
   sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
@@ -184,7 +198,7 @@ END {
   "go env GOVERSION" | getline gover
   "date -u +%Y-%m-%dT%H:%M:%SZ" | getline stamp
   printf "{\n"
-  printf "  \"pr\": 9,\n"
+  printf "  \"pr\": 10,\n"
   printf "  \"generated\": \"%s\",\n", stamp
   printf "  \"go\": \"%s\",\n", gover
   printf "  \"benchtime\": \"%s\",\n", benchtime
@@ -346,6 +360,31 @@ END {
     inst = ns_by_name[stem "-instrumented"] + 0
     printf "    {\"job\": \"%s\", \"plain_ns_op\": %.0f, \"instrumented_ns_op\": %.0f, \"instrumented_over_plain\": %.4f}%s\n", \
       short, plain, inst, inst / plain, (i < no - 1 ? "," : "")
+  }
+  printf "  ],\n"
+  # Matched plain/traced pairs -> span-tracing overhead on the serving
+  # path (PR 10 acceptance bound: traced_over_plain <= 1.02).
+  printf "  \"trace_overhead\": [\n"
+  nt = 0
+  for (name in ns_by_name) {
+    if (name ~ /^TraceOverhead\/.*-plain$/) {
+      stem = name
+      sub(/-plain$/, "", stem)
+      tname = stem "-traced"
+      if (tname in ns_by_name) tpairs[nt++] = stem
+    }
+  }
+  for (i = 0; i < nt; i++)
+    for (j = i + 1; j < nt; j++)
+      if (tpairs[j] < tpairs[i]) { tmp = tpairs[i]; tpairs[i] = tpairs[j]; tpairs[j] = tmp }
+  for (i = 0; i < nt; i++) {
+    stem = tpairs[i]
+    short = stem
+    sub(/^TraceOverhead\//, "", short)
+    plain = ns_by_name[stem "-plain"] + 0
+    traced = ns_by_name[stem "-traced"] + 0
+    printf "    {\"job\": \"%s\", \"plain_ns_op\": %.0f, \"traced_ns_op\": %.0f, \"traced_over_plain\": %.4f}%s\n", \
+      short, plain, traced, traced / plain, (i < nt - 1 ? "," : "")
   }
   printf "  ],\n"
   # Matched v1decode/v2open pairs -> mmap open speedups (PR 8
